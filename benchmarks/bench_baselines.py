@@ -1,0 +1,115 @@
+"""E-base — FET against every comparison protocol.
+
+Paper context (Sections 1.1–1.4): classic opinion dynamics are passive but
+fail source-driven self-stabilizing dissemination; the prior bit-dissemination
+protocols are fast but rely on decoupled messages (non-passive) or an oracle
+clock. This benchmark measures all of them from the all-wrong adversarial
+start and prints the comparison the paper makes qualitatively:
+
+* FET (passive, self-contained)           — converges, poly-log.
+* simple-trend (passive)                  — converges, poly-log (ablation).
+* voter / 3-majority / sample-majority /
+  undecided-state (passive dynamics)      — fail: locked on the wrong side.
+* oracle-clock (passive, oracle clock)    — converges in O(log n), but the
+                                            shared clock is an oracle.
+* clock-sync (decoupled messages)         — converges, but is not passive.
+"""
+
+from __future__ import annotations
+
+from bench_common import banner, results_path, run_once
+from repro.experiments.harness import run_trials
+from repro.initializers.standard import AllWrong
+from repro.protocols.clock_sync import ClockSyncProtocol
+from repro.protocols.fet import FETProtocol, ell_for
+from repro.protocols.majority import MajorityProtocol
+from repro.protocols.majority_sampling import MajoritySamplingProtocol
+from repro.protocols.oracle_clock import OracleClockProtocol
+from repro.protocols.simple_trend import SimpleTrendProtocol
+from repro.protocols.undecided import UndecidedStateProtocol
+from repro.protocols.voter import VoterProtocol
+from repro.viz.csv_out import write_rows
+from repro.viz.tables import format_table
+
+N = 2048
+TRIALS = 10
+# Budget: a small multiple of the theorem's log^{5/2} n scale. The question
+# the paper asks is "who converges in poly-log time?" — dynamics like the
+# voter model *do* eventually reach the source's consensus, but on a
+# polynomial (~n) timescale, which this budget excludes by construction.
+MAX_ROUNDS = 650  # ~ 3 * ln(2048)^2.5
+
+
+def _factories():
+    ell = ell_for(N)
+    return [
+        ("FET", True, lambda: FETProtocol(ell)),
+        ("simple-trend", True, lambda: SimpleTrendProtocol(ell)),
+        ("voter", True, lambda: VoterProtocol()),
+        ("3-majority", True, lambda: MajorityProtocol(3)),
+        ("sample-majority", True, lambda: MajoritySamplingProtocol(ell)),
+        ("undecided-state", True, lambda: UndecidedStateProtocol()),
+        ("oracle-clock", True, lambda: OracleClockProtocol(N, ell=1)),
+        ("clock-sync", False, lambda: ClockSyncProtocol(N, ell)),
+    ]
+
+
+def test_baseline_comparison(benchmark):
+    def build():
+        out = []
+        for index, (label, passive, factory) in enumerate(_factories()):
+            stats = run_trials(
+                factory,
+                N,
+                AllWrong(),
+                trials=TRIALS,
+                max_rounds=MAX_ROUNDS,
+                seed=500 + index,
+            )
+            out.append((label, passive, factory().describe(), stats))
+        return out
+
+    results = run_once(benchmark, build)
+    print(banner(f"Baselines — all protocols from the all-wrong start, n={N}"))
+    rows = []
+    csv_rows = []
+    for label, passive, desc, stats in results:
+        summary = stats.time_summary()
+        rows.append(
+            [
+                label,
+                "yes" if passive else "no",
+                desc["samples_per_round"],
+                stats.row()["success"],
+                summary.median,
+                summary.p95,
+            ]
+        )
+        csv_rows.append((label, passive, stats.successes, stats.trials, summary.median))
+    print(format_table(["protocol", "passive", "samples/rnd", "success", "median T", "p95 T"], rows))
+    write_rows(
+        results_path("baselines.csv"),
+        ("protocol", "passive", "successes", "trials", "median"),
+        csv_rows,
+    )
+
+    by_label = {label: stats for label, _, _, stats in results}
+    # The paper's qualitative table, asserted:
+    assert by_label["FET"].successes == TRIALS
+    assert by_label["simple-trend"].successes == TRIALS
+    assert by_label["oracle-clock"].successes == TRIALS
+    assert by_label["clock-sync"].successes == TRIALS
+    # Plain consensus dynamics fail the poly-log budget from the
+    # wrong-majority start (voter escape is ~Theta(n), the majority-style
+    # rules lock the wrong consensus outright; allow one lucky voter trial).
+    assert by_label["voter"].successes <= 1
+    assert by_label["3-majority"].successes == 0
+    assert by_label["sample-majority"].successes == 0
+    assert by_label["undecided-state"].successes == 0
+    # From the all-wrong start FET's bounce is very fast, while the
+    # oracle-clock scheme must wait out its phase structure; both stay within
+    # a small multiple of log n.
+    import math
+
+    assert by_label["FET"].time_summary().p95 < 5 * math.log(N)
+    assert by_label["oracle-clock"].time_summary().p95 < 3 * OracleClockProtocol(N).period

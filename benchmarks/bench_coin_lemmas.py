@@ -1,0 +1,120 @@
+"""E-coins — numeric verification of the coin-competition lemmas (App. A.2).
+
+For each of the paper's four bounds we sweep a parameter grid, compare the
+bound against the exact probability (pmf convolution), and report the worst
+margin. Every margin must be on the correct side.
+
+* Lemma 13 (Hoeffding): P(B_k(p) < B_k(q)) ≥ 1 − e^{−k(q−p)²/2}.
+* Lemma 15 (Berry–Esseen): P(B_k(p) > B_k(q)) ≥ 1 − Φ(√k(q−p)/σ) − C/(σ√k).
+* Lemma 12: P(B_k(p) < B_k(q)) < 1/2 + α(q−p)√k − P(tie)/2 for close coins.
+* Claim 10: E|B_k(p) − B_k(q)| ≤ √(2k q(1−q)) + k(q−p).
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_common import banner, results_path, run_once
+from repro.analysis.coins import (
+    berry_esseen_underdog_bound,
+    compare_binomials,
+    exact_expected_abs_difference,
+    expected_abs_difference_bound,
+    hoeffding_favorite_bound,
+    lemma12_upper_bound,
+)
+from repro.viz.csv_out import write_rows
+from repro.viz.tables import format_table
+
+KS = [8, 16, 32, 64, 128, 256]
+GAPS = [0.02, 0.05, 0.1, 0.2]
+BASE_P = 0.4
+
+
+def test_lemma13_hoeffding(benchmark):
+    def build():
+        rows = []
+        for k in KS:
+            for gap in GAPS:
+                p, q = BASE_P, BASE_P + gap
+                exact = compare_binomials(k, p, q).p_second_wins
+                bound = hoeffding_favorite_bound(k, p, q)
+                rows.append((k, gap, exact, bound, exact - bound))
+        return rows
+
+    rows = run_once(benchmark, build)
+    print(banner("Lemma 13 — Hoeffding favourite-wins lower bound"))
+    worst = min(rows, key=lambda r: r[4])
+    print(format_table(
+        ["k", "gap", "exact P(p<q)", "bound", "margin"],
+        [[k, g, round(e, 4), round(b, 4), round(m, 4)] for k, g, e, b, m in rows[:8]],
+    ))
+    print(f"... {len(rows)} grid points; worst margin {worst[4]:.4f} at k={worst[0]}, gap={worst[1]}")
+    write_rows(results_path("lemma13.csv"), ("k", "gap", "exact", "bound", "margin"), rows)
+    assert worst[4] >= -1e-12
+
+
+def test_lemma15_berry_esseen(benchmark):
+    def build():
+        rows = []
+        for k in KS:
+            for gap in GAPS:
+                p, q = BASE_P, BASE_P + gap
+                exact = compare_binomials(k, p, q).p_first_wins
+                bound = berry_esseen_underdog_bound(k, p, q)
+                rows.append((k, gap, exact, bound, exact - bound))
+        return rows
+
+    rows = run_once(benchmark, build)
+    print(banner("Lemma 15 — Berry–Esseen underdog-wins lower bound"))
+    worst = min(rows, key=lambda r: r[4])
+    informative = sum(1 for r in rows if r[3] > 0)
+    print(f"{len(rows)} grid points; bound informative (positive) at {informative};"
+          f" worst margin {worst[4]:.4f}")
+    write_rows(results_path("lemma15.csv"), ("k", "gap", "exact", "bound", "margin"), rows)
+    assert worst[4] >= -1e-12
+
+
+def test_lemma12_close_coins(benchmark):
+    def build():
+        rows = []
+        for k in KS:
+            for frac in (0.2, 0.5, 1.0):
+                p = 0.45
+                q = p + frac / math.sqrt(k)
+                if q > 2 / 3:
+                    continue
+                exact = compare_binomials(k, p, q).p_second_wins
+                bound = lemma12_upper_bound(k, p, q)
+                rows.append((k, round(q - p, 5), exact, bound, bound - exact))
+        return rows
+
+    rows = run_once(benchmark, build)
+    print(banner("Lemma 12 — close-coins upper bound (alpha = 9)"))
+    worst = min(rows, key=lambda r: r[4])
+    print(format_table(
+        ["k", "gap", "exact P(p<q)", "bound", "slack"],
+        [[k, g, round(e, 4), round(b, 4), round(s, 4)] for k, g, e, b, s in rows[:8]],
+    ))
+    print(f"... {len(rows)} grid points; worst slack {worst[4]:.4f}")
+    write_rows(results_path("lemma12.csv"), ("k", "gap", "exact", "bound", "slack"), rows)
+    assert worst[4] >= -1e-12
+
+
+def test_claim10_expected_difference(benchmark):
+    def build():
+        rows = []
+        for k in KS:
+            for gap in GAPS:
+                p, q = BASE_P, BASE_P + gap
+                exact = exact_expected_abs_difference(k, p, q)
+                bound = expected_abs_difference_bound(k, p, q)
+                rows.append((k, gap, exact, bound, bound - exact))
+        return rows
+
+    rows = run_once(benchmark, build)
+    print(banner("Claim 10 — expected |difference| upper bound"))
+    worst = min(rows, key=lambda r: r[4])
+    print(f"{len(rows)} grid points; worst slack {worst[4]:.4f}")
+    write_rows(results_path("claim10.csv"), ("k", "gap", "exact", "bound", "slack"), rows)
+    assert worst[4] >= -1e-12

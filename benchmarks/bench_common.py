@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (figure or quantitative
+claim — see the experiment index in DESIGN.md), prints the regenerated
+tables/maps to stdout (captured into ``bench_output.txt`` by the run
+instructions), and writes CSV artifacts under ``results/``.
+
+Benchmarks run their experiment exactly once via ``benchmark.pedantic``:
+the timing numbers are secondary; the scientific payload is the printed
+comparison against the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def results_path(name: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(60, len(title) + 4)
+    return f"\n{rule}\n  {title}\n{rule}"
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

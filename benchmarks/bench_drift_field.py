@@ -1,0 +1,88 @@
+"""E-drift — Eq. (7) drift field, fixed points f(x), and Claim 3 amplification.
+
+Paper artifacts: the drift function g(x, y) of Eq. (7) governs the mean-field
+motion; Claim 2 gives the fixed-point map f(x) on [x, x + 1/√ℓ]; Claim 3 /
+Eq. (9) show f amplifies the distance from 1/2 by at least 1 + c₄/√ℓ with
+c₄ = 1/(4α). We tabulate f and the measured amplification against that lower
+bound across the Yellow′ x-range, and summarize the drift field over the grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from bench_common import banner, results_path, run_once
+from repro.analysis.drift import amplification_factor, drift_grid, fixed_point_f
+from repro.analysis.theory import amplification_lower_bound
+from repro.viz.csv_out import write_rows
+from repro.viz.tables import format_table
+
+N = 10_000
+ELL = 74  # ell_for(10_000) with the default constant
+
+
+def test_fixed_point_amplification(benchmark):
+    xs = [0.501, 0.51, 0.52, 0.55, 0.6, 0.65, 0.7]
+
+    def build():
+        rows = []
+        for x in xs:
+            f = fixed_point_f(x, ELL, N)
+            gain = amplification_factor(x, ELL, N)
+            rows.append((x, f, f - x, gain))
+        return rows
+
+    rows = run_once(benchmark, build)
+    bound = amplification_lower_bound(ELL)
+    print(banner(f"Claim 3 — fixed-point amplification, ell={ELL}, n={N}"))
+    table = [
+        [x, round(f, 5), round(step, 5), round(gain, 4), round(bound, 4)]
+        for x, f, step, gain in rows
+    ]
+    print(format_table(["x", "f(x)", "f(x)-x", "(f-1/2)/(x-1/2)", "paper lower bound"], table))
+    write_rows(
+        results_path("drift_fixed_points.csv"),
+        ("x", "f", "step", "gain"),
+        rows,
+    )
+
+    for x, f, step, gain in rows:
+        assert x <= f <= x + 1 / math.sqrt(ELL) + 1e-9
+        assert gain > bound, f"amplification at x={x} below the paper bound"
+
+
+def test_drift_field_summary(benchmark):
+    def build():
+        grid = np.linspace(0.0, 1.0, 101)
+        g = drift_grid(grid, grid, ELL, N)
+        # Drift of the pair chain: E[x_{t+2}] - x_{t+1} at (x=col, y=row).
+        drift = g - grid[:, None] * 0 - grid[None, :] * 0  # keep g
+        vertical = g - grid[:, None]
+        return grid, g, vertical
+
+    grid, g, vertical = run_once(benchmark, build)
+    print(banner(f"Eq. (7) — drift field summary, ell={ELL}, n={N}"))
+    mid = len(grid) // 2
+    print(f"g(1/2, 1/2)      = {g[mid, mid]:.4f}  (neutral centre)")
+    print(f"g(x=0.3, y=0.6)  = {g[60, 30]:.4f}  (upward trend -> ~1)")
+    print(f"g(x=0.6, y=0.3)  = {g[30, 60]:.4f}  (downward trend -> ~0)")
+    up = float((vertical > 0).mean())
+    print(f"fraction of grid with upward drift (E[x_t+2] > x_t+1): {up:.3f}")
+    write_rows(
+        results_path("drift_field_sample.csv"),
+        ("x", "y", "g"),
+        [
+            (float(grid[j]), float(grid[i]), float(g[i, j]))
+            for i in range(0, 101, 5)
+            for j in range(0, 101, 5)
+        ],
+    )
+
+    assert abs(g[mid, mid] - 0.5) < 0.02
+    assert g[60, 30] > 0.95
+    assert g[30, 60] < 0.05
+    # The field is symmetric under point reflection up to the O(1/n) source term.
+    anti = g + g[::-1, ::-1]
+    assert np.abs(anti - 1.0).max() < 2 / N + 1e-6

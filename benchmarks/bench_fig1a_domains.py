@@ -1,0 +1,59 @@
+"""F1a — regenerate Figure 1a: the domain partition of the grid G.
+
+Paper artifact: Figure 1a partitions the (x_t, x_{t+1}) unit square into
+Green / Purple / Red / Cyan / Yellow (Section 2.1). We regenerate it as an
+ASCII map plus a CSV grid of per-cell labels, at the paper's asymptotic
+parameters, for two population sizes. The n = 10⁶ map shows the Red sliver;
+at n = 1000 Red1 is empty (λ_n > δ/x for all admissible x) — a finite-size
+artifact recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from bench_common import banner, results_path, run_once
+from repro.analysis.domains import Domain, DomainPartition
+from repro.viz.ascii_grid import render_domain_map
+from repro.viz.csv_out import write_domain_grid
+
+
+def _census(partition: DomainPartition, resolution: int = 101) -> Counter:
+    _, _, labels = partition.grid_labels(resolution)
+    return Counter(label.family for row in labels for label in row)
+
+
+def test_fig1a_domain_map_moderate_n(benchmark):
+    partition = DomainPartition(n=1000, delta=0.05)
+
+    def build():
+        art = render_domain_map(partition, resolution=61)
+        write_domain_grid(results_path("fig1a_domains_n1000.csv"), partition)
+        return art, _census(partition)
+
+    art, census = run_once(benchmark, build)
+    print(banner("Figure 1a — domain partition, n=1000, delta=0.05"))
+    print(art)
+    print("cell census:", dict(census))
+    # Structural checks against the paper's figure.
+    assert census["Green"] > 0 and census["Yellow"] > 0
+    assert census["Cyan"] > 0 and census["Purple"] > 0
+    assert census["Red"] == 0  # finite-size artifact, see EXPERIMENTS.md
+    assert partition.classify(0.5, 0.5) is Domain.YELLOW
+
+
+def test_fig1a_domain_map_large_n(benchmark):
+    partition = DomainPartition(n=10**6, delta=0.05)
+
+    def build():
+        art = render_domain_map(partition, resolution=61)
+        write_domain_grid(results_path("fig1a_domains_n1e6.csv"), partition)
+        return art, _census(partition, resolution=201)
+
+    art, census = run_once(benchmark, build)
+    print(banner("Figure 1a — domain partition, n=1e6, delta=0.05"))
+    print(art)
+    print("cell census:", dict(census))
+    # At n = 1e6 the Red sliver exists, as drawn in the paper's figure.
+    assert census["Red"] > 0
+    assert census["Green"] > census["Yellow"]

@@ -1,0 +1,113 @@
+"""F1b + L1–L5 — regenerate Figure 1b: the domain-transition diagram.
+
+Paper artifact: Figure 1b sketches the proof of Theorem 1 as transitions
+between domains with dwell-time annotations (Lemmas 1–5): Yellow is left in
+O(log^{5/2} n) rounds, Red in log^{1/2+2δ} n, Cyan in log n / log log n,
+Purple and Green in one round, Cyan exits into Green ∪ Purple, Purple exits
+into Green, Green1 exits into the (1,1) consensus.
+
+We run FET from a battery of adversarial starts, classify every consecutive
+pair, and print the empirical dwell times and the transition frequency
+matrix — the measured counterpart of the diagram — next to the paper's
+per-lemma bounds.
+"""
+
+from __future__ import annotations
+
+from bench_common import banner, results_path, run_once
+from repro.analysis.theory import (
+    cyan_dwell_bound,
+    green_dwell_bound,
+    purple_dwell_bound,
+    red_dwell_bound,
+    yellow_dwell_bound,
+)
+from repro.experiments.transitions import collect_transitions
+from repro.initializers.adversarial import PoisonedCounters, TwoRoundTarget, ZeroSpeedCenter
+from repro.initializers.standard import AllWrong, BernoulliRandom
+from repro.protocols.fet import ell_for
+from repro.viz.csv_out import write_rows
+from repro.viz.tables import format_table
+
+N = 2000
+TRIALS_PER_INIT = 12
+
+INITIALIZERS = [
+    AllWrong(),
+    BernoulliRandom(0.5),
+    ZeroSpeedCenter(),
+    PoisonedCounters(),
+    TwoRoundTarget(0.9, 0.1),
+    TwoRoundTarget(0.25, 0.25),
+]
+
+
+def test_fig1b_domain_transitions(benchmark):
+    def build():
+        return collect_transitions(
+            N,
+            ell_for(N),
+            INITIALIZERS,
+            trials_per_init=TRIALS_PER_INIT,
+            max_rounds=5000,
+            seed=2022,
+        )
+
+    summary = run_once(benchmark, build)
+    print(banner(f"Figure 1b — empirical domain transitions, n={N}, {summary.runs} runs"))
+
+    bounds = {
+        "Green": green_dwell_bound(N),
+        "Purple": purple_dwell_bound(N),
+        "Red": red_dwell_bound(N),
+        "Cyan": cyan_dwell_bound(N),
+        "Yellow": yellow_dwell_bound(N, 1.0),
+    }
+    dwell_rows = []
+    for family in sorted(summary.dwell_times):
+        dwell_rows.append(
+            [
+                family,
+                len(summary.dwell_times[family]),
+                round(summary.mean_dwell(family), 2),
+                summary.max_dwell(family),
+                round(bounds.get(family, float("nan")), 2),
+            ]
+        )
+    print("\nDwell times per domain family (paper bound = big-O shape, constant 1):")
+    print(format_table(["family", "visits", "mean dwell", "max dwell", "paper bound"], dwell_rows))
+
+    families = summary.families()
+    trans_rows = []
+    for src in families:
+        row = [src]
+        for dst in families:
+            p = summary.transition_probability(src, dst)
+            row.append("-" if p != p else f"{p:.2f}")
+        trans_rows.append(row)
+    print("\nTransition frequencies P(next family | leaving family):")
+    print(format_table(["from \\ to"] + families, trans_rows))
+
+    write_rows(
+        results_path("fig1b_transitions.csv"),
+        ("from", "to", "count"),
+        [(src, dst, cnt) for (src, dst), cnt in sorted(summary.transitions.items())],
+    )
+
+    # The diagram's structural claims, measured:
+    assert summary.converged_runs == summary.runs
+    # Cyan exits overwhelmingly into Green or Purple (Lemma 4).
+    cyan_out = sum(
+        summary.transition_probability("Cyan", dst)
+        for dst in ("Green", "Purple")
+        if summary.transition_probability("Cyan", dst) == summary.transition_probability("Cyan", dst)
+    )
+    assert cyan_out > 0.9
+    # Purple exits into Green (Lemma 2).
+    p_purple_green = summary.transition_probability("Purple", "Green")
+    if p_purple_green == p_purple_green:  # Purple may be skipped entirely
+        assert p_purple_green > 0.8
+    # Dwell bounds hold with the trivial constant for everything but Green
+    # (Green dwell can be 2 when side-0 consensus needs a second hop).
+    assert summary.max_dwell("Cyan") <= cyan_dwell_bound(N) + 2
+    assert summary.max_dwell("Yellow") <= yellow_dwell_bound(N, 1.0)

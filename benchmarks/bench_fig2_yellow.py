@@ -1,0 +1,57 @@
+"""F2 — regenerate Figure 2: the A/B/C partition of the Yellow′ square.
+
+Paper artifact: Figure 2 splits the bounding square Yellow′ = [1/2−4δ,
+1/2+4δ]² into areas A (speed builds), B (slow climb), C (pushed toward A),
+each with a side-0 mirror. Regenerated as an ASCII map plus a per-area cell
+census.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from bench_common import banner, results_path, run_once
+from repro.analysis.domains import DomainPartition, YellowArea
+from repro.viz.ascii_grid import render_yellow_map
+from repro.viz.csv_out import write_rows
+
+
+def test_fig2_yellow_partition(benchmark):
+    partition = DomainPartition(n=1000, delta=0.05)
+    resolution = 81
+
+    def build():
+        art = render_yellow_map(partition, resolution=41)
+        lo, hi = partition.yellow_prime_lo, partition.yellow_prime_hi
+        grid = np.linspace(lo, hi, resolution)
+        census: Counter = Counter()
+        rows = []
+        for x in grid:
+            for y in grid:
+                area = partition.classify_yellow_area(float(x), float(y))
+                census[area.value] += 1
+                rows.append((float(x), float(y), area.value))
+        write_rows(results_path("fig2_yellow_areas.csv"), ("x_t", "x_t1", "area"), rows)
+        return art, census
+
+    art, census = run_once(benchmark, build)
+    print(banner("Figure 2 — Yellow' partition into A/B/C, n=1000, delta=0.05"))
+    print(art)
+    print("cell census:", dict(census))
+
+    total = sum(census.values())
+    assert census[YellowArea.OUTSIDE.value] == 0  # the six areas cover Yellow'
+    # A-areas are the largest (they own the whole y >= max(1/2, 2x - 1/2)
+    # wedge and its mirror), matching the figure's geometry.
+    a_cells = census["A1"] + census["A0"]
+    b_cells = census["B1"] + census["B0"]
+    c_cells = census["C1"] + census["C0"]
+    assert a_cells > b_cells and a_cells > c_cells
+    # Side symmetry: mirrored areas have identical cell counts up to the
+    # shared boundary (one grid line).
+    assert abs(census["A1"] - census["A0"]) <= resolution
+    assert abs(census["B1"] - census["B0"]) <= resolution
+    assert abs(census["C1"] - census["C0"]) <= resolution
+    assert total == resolution * resolution

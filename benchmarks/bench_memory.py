@@ -1,0 +1,69 @@
+"""E-mem — the memory claim of Theorem 1: O(log ℓ) bits per agent.
+
+FET stores exactly one counter in {0, …, ℓ}, i.e. log2(ℓ+1) bits, on top of
+the opinion bit. We tabulate the internal memory of every protocol in the
+repository and check FET's growth in ℓ is logarithmic (doubling ℓ adds about
+one bit).
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_common import banner, results_path, run_once
+from repro.protocols.clock_sync import ClockSyncProtocol
+from repro.protocols.fet import FETProtocol, ell_for
+from repro.protocols.majority import MajorityProtocol
+from repro.protocols.majority_sampling import MajoritySamplingProtocol
+from repro.protocols.oracle_clock import OracleClockProtocol
+from repro.protocols.simple_trend import SimpleTrendProtocol
+from repro.protocols.undecided import UndecidedStateProtocol
+from repro.protocols.voter import VoterProtocol
+from repro.viz.csv_out import write_rows
+from repro.viz.tables import format_table
+
+N = 4096
+
+
+def test_memory_accounting(benchmark):
+    ell = ell_for(N)
+
+    def build():
+        protocols = [
+            FETProtocol(ell),
+            SimpleTrendProtocol(ell),
+            VoterProtocol(),
+            MajorityProtocol(3),
+            MajoritySamplingProtocol(ell),
+            UndecidedStateProtocol(),
+            OracleClockProtocol(N),
+            ClockSyncProtocol(N, ell),
+        ]
+        return [p.describe() for p in protocols]
+
+    rows = run_once(benchmark, build)
+    print(banner(f"Memory — internal bits per agent (n={N}, ell={ell})"))
+    table = [
+        [d["name"], "yes" if d["passive"] else "no", d["samples_per_round"], round(d["memory_bits"], 2)]
+        for d in rows
+    ]
+    print(format_table(["protocol", "passive", "samples/round", "memory bits"], table))
+    write_rows(
+        results_path("memory.csv"),
+        ("protocol", "passive", "samples_per_round", "memory_bits"),
+        [(d["name"], d["passive"], d["samples_per_round"], d["memory_bits"]) for d in rows],
+    )
+
+    fet = rows[0]
+    assert fet["memory_bits"] == math.log2(ell + 1)
+
+
+def test_memory_growth_is_logarithmic(benchmark):
+    def build():
+        return [(ell, FETProtocol(ell).memory_bits()) for ell in (8, 16, 32, 64, 128, 256)]
+
+    pairs = run_once(benchmark, build)
+    print(banner("FET memory growth: doubling ell adds ~1 bit (O(log ell))"))
+    print(format_table(["ell", "bits"], [[e, round(b, 3)] for e, b in pairs]))
+    for (e1, b1), (e2, b2) in zip(pairs, pairs[1:]):
+        assert 0.5 < b2 - b1 < 1.5  # approximately one extra bit per doubling

@@ -1,0 +1,62 @@
+"""E-ell — sample-size ablation: how small can ℓ be?
+
+Paper context: Theorem 1 uses ℓ = Θ(log n); the discussion section leaves
+"poly-logarithmic time with O(1) samples" open. We sweep ℓ from 1 to the
+theorem's c·ln n at fixed n and report success rates and times, mapping where
+the protocol degrades.
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_common import banner, results_path, run_once
+from repro.experiments.convergence import sweep_sample_sizes
+from repro.initializers.standard import BernoulliRandom
+from repro.protocols.fet import ell_for
+from repro.viz.csv_out import write_rows
+from repro.viz.tables import format_table
+
+N = 1024
+TRIALS = 12
+MAX_ROUNDS = 20_000
+
+
+def test_sample_size_ablation(benchmark):
+    ells = [1, 2, 4, 8, 16, 32, ell_for(N)]
+
+    def build():
+        return sweep_sample_sizes(
+            N,
+            ells,
+            trials=TRIALS,
+            seed=7,
+            initializer=BernoulliRandom(0.5),
+            max_rounds=MAX_ROUNDS,
+        )
+
+    rows = run_once(benchmark, build)
+    print(banner(f"Sample-size ablation — FET at n={N} (ln n = {math.log(N):.1f})"))
+    table = []
+    csv_rows = []
+    for row in rows:
+        summary = row.stats.time_summary()
+        table.append(
+            [row.ell, row.stats.row()["success"], summary.median, summary.p95, summary.maximum]
+        )
+        csv_rows.append((row.ell, row.stats.successes, row.stats.trials, summary.median))
+    print(format_table(["ell", "success", "median T", "p95 T", "max T"], table))
+    print(f"(budget {MAX_ROUNDS} rounds; theorem setting ell = {ell_for(N)})")
+    write_rows(
+        results_path("sample_size_ablation.csv"),
+        ("ell", "successes", "trials", "median"),
+        csv_rows,
+    )
+
+    by_ell = {row.ell: row.stats for row in rows}
+    # The theorem's regime must be solid.
+    assert by_ell[ell_for(N)].successes == TRIALS
+    assert by_ell[32].successes == TRIALS
+    # Larger ell never hurts the success count in this budget.
+    counts = [by_ell[e].successes for e in ells]
+    assert counts[-1] >= counts[0]

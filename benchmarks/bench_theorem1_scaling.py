@@ -1,0 +1,81 @@
+"""T1 — the headline: Theorem 1's O(log^{5/2} n) convergence-time scaling.
+
+Paper claim: FET with ℓ = Θ(log n) samples per round converges from any
+initial configuration in O(log^{5/2} n) rounds w.h.p.
+
+We measure convergence time from the all-wrong adversarial start over a
+geometric sweep of n, fit T(n) = a·(ln n)^b, and compare the measured
+exponent b against the theorem's upper bound b ≤ 2.5. (The bound is an upper
+bound: the measured exponent from benign regions is smaller — the log^{5/2}
+cost is paid only by worst-case Yellow starts, which bench_adversarial_inits
+probes separately.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_common import banner, results_path, run_once
+from repro.analysis.theory import theorem1_bound
+from repro.experiments.convergence import fit_scaling, sweep_population_sizes
+from repro.viz.csv_out import write_rows
+from repro.viz.tables import format_table
+
+NS = [128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+TRIALS = 15
+
+
+def test_theorem1_scaling(benchmark):
+    def build():
+        rows = sweep_population_sizes(NS, trials=TRIALS, seed=1)
+        fit = fit_scaling(rows, statistic="median")
+        return rows, fit
+
+    rows, fit = run_once(benchmark, build)
+    print(banner("Theorem 1 — convergence-time scaling, all-wrong start"))
+    table = []
+    csv_rows = []
+    for row in rows:
+        summary = row.stats.time_summary()
+        bound = theorem1_bound(row.n)
+        table.append(
+            [
+                row.n,
+                row.ell,
+                row.stats.row()["success"],
+                summary.median,
+                summary.p95,
+                summary.maximum,
+                round(bound, 1),
+                round(summary.median / bound, 3),
+            ]
+        )
+        csv_rows.append(
+            (row.n, row.ell, row.stats.successes, row.stats.trials, summary.median, summary.p95)
+        )
+    print(
+        format_table(
+            ["n", "ell", "success", "median T", "p95 T", "max T", "ln^2.5 n", "median/bound"],
+            table,
+        )
+    )
+    print(
+        f"\nfit T(n) = a*(ln n)^b: a={fit.a:.3f}, b={fit.b:.3f}, R^2={fit.r_squared:.3f}"
+        f"  (paper upper bound: b <= 2.5)"
+    )
+    write_rows(
+        results_path("theorem1_scaling.csv"),
+        ("n", "ell", "successes", "trials", "median", "p95"),
+        csv_rows,
+    )
+
+    # Every trial at every size must converge within the bound-scaled budget.
+    for row in rows:
+        assert row.stats.successes == row.stats.trials
+    # Shape check: measured exponent within the theorem's upper bound
+    # (with a small tolerance for fit noise).
+    assert fit.b <= 2.5 + 0.3
+    # Growth is genuinely poly-logarithmic: times at the largest n stay tiny
+    # relative to n itself.
+    largest = rows[-1]
+    assert largest.stats.time_summary().p95 < math.log(largest.n) ** 2.5

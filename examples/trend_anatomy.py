@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Anatomy of a run: watch the Markov chain cross the Figure 1a domains.
+
+Runs FET once from the all-wrong start, classifies every consecutive pair
+(x_t, x_{t+1}) into the paper's domains, and prints (a) the domain map with
+the trajectory's itinerary, (b) the per-domain dwell times next to the
+lemma bounds, and (c) the mean-field drift the analysis predicts at each
+visited point. This is the proof of Theorem 1, replayed on live data.
+
+Run:  python examples/trend_anatomy.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import DomainPartition, FETProtocol, drift_g, ell_for
+from repro.analysis import cyan_dwell_bound, yellow_dwell_bound
+from repro.experiments import run_annotated
+from repro.initializers import AllWrong, ZeroSpeedCenter
+from repro.viz import format_table, render_domain_map
+
+
+def dissect(title: str, initializer, n: int, seed: int) -> None:
+    ell = ell_for(n)
+    annotated = run_annotated(
+        FETProtocol(ell), n, initializer, max_rounds=20_000, seed=seed
+    )
+    result = annotated.result
+    print(f"\n=== {title} (n={n}, ell={ell}) ===")
+    print(f"converged in {result.rounds} rounds "
+          f"(ln(n)^2.5 = {math.log(n) ** 2.5:.0f})")
+
+    itinerary = annotated.dwell_segments()
+    rows = []
+    pair_index = 0
+    pairs = result.pairs()
+    for domain, dwell in itinerary:
+        x, y = pairs[pair_index]
+        drift = drift_g(float(x), float(y), ell, n) - float(y)
+        rows.append(
+            [
+                domain.value,
+                dwell,
+                f"({x:.3f}, {y:.3f})",
+                f"{drift:+.3f}",
+            ]
+        )
+        pair_index += dwell
+    print(format_table(
+        ["domain", "dwell (rounds)", "entry point (x_t, x_t+1)", "mean-field drift at entry"],
+        rows,
+    ))
+
+
+def main() -> None:
+    n = 4000
+    partition = DomainPartition(n=n)
+    print("Figure 1a — the territory the chain must cross:")
+    print(render_domain_map(partition, resolution=41))
+
+    dissect("all-wrong start (Cyan bounce)", AllWrong(), n, seed=3)
+    dissect("zero-speed Yellow centre (hardest start)", ZeroSpeedCenter(), n, seed=4)
+
+    print("\nlemma bounds at this n:")
+    print(f"  Cyan dwell   <= log n / log log n      = {cyan_dwell_bound(n):.1f}")
+    print(f"  Yellow dwell <= O(log^(5/2) n), scale    {yellow_dwell_bound(n, 1.0):.0f}")
+    print("\nReading: from all-wrong the chain bounces out of Cyan in a few")
+    print("rounds (growth factor ~K log n per round, Lemma 4), grabs speed in")
+    print("Green, and absorbs. From the Yellow centre it first has to random-")
+    print("walk its speed up through areas A/B/C (Section 3) — the slow part.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — reproduction of Korman & Vacus (PODC 2022).
+
+"Early Adapting to Trends: Self-Stabilizing Information Spread using Passive
+Communication" (arXiv:2203.11522). The package provides:
+
+* the **FET** protocol (Protocol 1) and the full PULL-model simulation
+  substrate it runs on (:mod:`repro.core`, :mod:`repro.protocols`);
+* baselines: the simple-trend variant, classic opinion dynamics (voter,
+  3-majority, undecided-state, sample-majority), the oracle-clock two-subphase
+  scheme and a decoupled-message clock-sync protocol;
+* the paper's analytical machinery: exact binomial coin competitions
+  (Lemmas 12–15), the drift function ``g`` of Eq. (7) and its fixed points,
+  the Figure 1a / Figure 2 domain partitions, the exact pair Markov chain of
+  Observation 1, and the per-lemma dwell-time bounds
+  (:mod:`repro.analysis`);
+* experiment harnesses and statistics used by the benchmark suite
+  (:mod:`repro.experiments`, :mod:`repro.stats`, :mod:`repro.viz`).
+
+Quickstart::
+
+    from repro import FETProtocol, ell_for, make_population, run_protocol
+    from repro.initializers import AllWrong
+    from repro.core import make_rng
+
+    n = 1000
+    rng = make_rng(0)
+    protocol = FETProtocol(ell_for(n))
+    population = make_population(n, correct_opinion=1)
+    state = protocol.init_state(n, rng)
+    AllWrong()(population, protocol, state, rng)
+    result = run_protocol(protocol, population, max_rounds=2000, rng=rng, state=state)
+    print(result.converged, result.rounds)
+"""
+
+from .analysis import (
+    Domain,
+    DomainPartition,
+    ExactPairChain,
+    YellowArea,
+    compare_binomials,
+    drift_g,
+    fixed_point_f,
+    theorem1_bound,
+)
+from .core import (
+    BinomialCountSampler,
+    IndexSampler,
+    PopulationState,
+    Protocol,
+    RunResult,
+    SynchronousEngine,
+    make_majority_population,
+    make_population,
+    make_rng,
+    run_protocol,
+)
+from .protocols import (
+    ClockSyncProtocol,
+    FETProtocol,
+    MajorityProtocol,
+    MajoritySamplingProtocol,
+    OracleClockProtocol,
+    SimpleTrendProtocol,
+    UndecidedStateProtocol,
+    VoterProtocol,
+    ell_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinomialCountSampler",
+    "ClockSyncProtocol",
+    "Domain",
+    "DomainPartition",
+    "ExactPairChain",
+    "FETProtocol",
+    "IndexSampler",
+    "MajorityProtocol",
+    "MajoritySamplingProtocol",
+    "OracleClockProtocol",
+    "PopulationState",
+    "Protocol",
+    "RunResult",
+    "SimpleTrendProtocol",
+    "SynchronousEngine",
+    "UndecidedStateProtocol",
+    "VoterProtocol",
+    "YellowArea",
+    "compare_binomials",
+    "drift_g",
+    "ell_for",
+    "fixed_point_f",
+    "make_majority_population",
+    "make_population",
+    "make_rng",
+    "run_protocol",
+    "theorem1_bound",
+    "__version__",
+]

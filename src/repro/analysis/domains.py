@@ -1,0 +1,228 @@
+"""Domain partitions of the state grid (Figures 1a and 2).
+
+The proof of Theorem 1 tracks the Markov chain of consecutive fractions
+``(x_t, x_{t+1})`` through a partition of the unit square into domains
+(Section 2.1): **Green** (high speed — consensus next round), **Purple**
+(moderate fraction, low speed — jumps to Green), **Red** (contracting toward
+0/1 — leaves in poly-log rounds), **Cyan** (near-consensus on the wrong
+opinion — "bounces back"), and **Yellow** (the slow centre). Section 3
+refines a bounding square ``Yellow′`` into areas **A / B / C**.
+
+This module implements both classifiers exactly as defined (with the single
+evident typo fix documented in DESIGN.md §5), with a fixed precedence order
+to resolve the few boundary/corner overlaps the paper's prose glosses over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Domain", "YellowArea", "DomainPartition", "DEFAULT_DELTA"]
+
+#: Default δ for the partition; the paper requires 0 < δ < 1/2.
+DEFAULT_DELTA = 0.05
+
+
+class Domain(Enum):
+    """Domains of Figure 1a (side-1 and side-0 variants) plus NONE."""
+
+    GREEN1 = "Green1"
+    GREEN0 = "Green0"
+    PURPLE1 = "Purple1"
+    PURPLE0 = "Purple0"
+    RED1 = "Red1"
+    RED0 = "Red0"
+    CYAN1 = "Cyan1"
+    CYAN0 = "Cyan0"
+    YELLOW = "Yellow"
+    NONE = "None"
+
+    @property
+    def family(self) -> str:
+        """Side-agnostic family name: 'Green', 'Purple', …, 'None'."""
+        return self.value.rstrip("01")
+
+
+class YellowArea(Enum):
+    """Areas of the Yellow′ square (Figure 2), plus OUTSIDE."""
+
+    A1 = "A1"
+    B1 = "B1"
+    C1 = "C1"
+    A0 = "A0"
+    B0 = "B0"
+    C0 = "C0"
+    OUTSIDE = "outside"
+
+    @property
+    def family(self) -> str:
+        return self.value.rstrip("01") if self is not YellowArea.OUTSIDE else "outside"
+
+
+@dataclass(frozen=True)
+class DomainPartition:
+    """Classifier for the grid ``G`` at population size ``n``.
+
+    Parameters
+    ----------
+    n:
+        Population size — enters through the ``1/log n`` thresholds and
+        ``λ_n = 1/(log n)^{1/2+δ}`` (natural log, per DESIGN.md §5).
+    delta:
+        The δ of Section 2.1.
+    """
+
+    n: int
+    delta: float = DEFAULT_DELTA
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise ValueError(f"n must be >= 3 for log-based thresholds, got {self.n}")
+        if not 0.0 < self.delta < 0.5:
+            raise ValueError(f"delta must be in (0, 1/2), got {self.delta}")
+
+    # ------------------------------------------------------------ thresholds
+
+    @property
+    def inv_log_n(self) -> float:
+        return 1.0 / math.log(self.n)
+
+    @property
+    def lambda_n(self) -> float:
+        return 1.0 / math.log(self.n) ** (0.5 + self.delta)
+
+    # -------------------------------------------------------- side-1 tests
+
+    def _green1(self, x: float, y: float) -> bool:
+        return y >= x + self.delta
+
+    def _purple1(self, x: float, y: float) -> bool:
+        d = self.delta
+        return (
+            self.inv_log_n <= x < 0.5 - 3 * d
+            and (1.0 - self.lambda_n) * x <= y < x + d
+        )
+
+    def _red1(self, x: float, y: float) -> bool:
+        d = self.delta
+        return (
+            self.inv_log_n <= y
+            and x < 0.5 - 3 * d
+            and x - d <= y < (1.0 - self.lambda_n) * x
+        )
+
+    def _cyan1(self, x: float, y: float) -> bool:
+        d = self.delta
+        return min(x, y) < self.inv_log_n and x - d < y < x + d
+
+    def _yellow(self, x: float, y: float) -> bool:
+        # Typo fix: the paper's "1/2 − 3δ ≤ x_t < 1/2 ≤ 3δ" is read as
+        # 1/2 − 3δ ≤ x_t ≤ 1/2 + 3δ (see DESIGN.md §5).
+        d = self.delta
+        return (
+            0.5 - 3 * d <= x <= 0.5 + 3 * d
+            and 0.5 - 4 * d <= y <= 0.5 + 4 * d
+            and abs(y - x) < d
+        )
+
+    # ---------------------------------------------------------- classifiers
+
+    def classify(self, x: float, y: float) -> Domain:
+        """Classify the pair ``(x_t, x_{t+1}) = (x, y)``.
+
+        Side-0 domains are the point reflections of the side-1 domains around
+        ``(1/2, 1/2)``. Precedence (Green, Yellow, Cyan, Red, Purple, with
+        side 1 before side 0 within a family) resolves boundary overlaps
+        deterministically.
+        """
+        if not (0.0 <= x <= 1.0 and 0.0 <= y <= 1.0):
+            raise ValueError(f"point must lie in the unit square, got ({x}, {y})")
+        rx, ry = 1.0 - x, 1.0 - y
+        if self._green1(x, y):
+            return Domain.GREEN1
+        if self._green1(rx, ry):
+            return Domain.GREEN0
+        if self._yellow(x, y):
+            return Domain.YELLOW
+        if self._cyan1(x, y):
+            return Domain.CYAN1
+        if self._cyan1(rx, ry):
+            return Domain.CYAN0
+        if self._red1(x, y):
+            return Domain.RED1
+        if self._red1(rx, ry):
+            return Domain.RED0
+        if self._purple1(x, y):
+            return Domain.PURPLE1
+        if self._purple1(rx, ry):
+            return Domain.PURPLE0
+        return Domain.NONE
+
+    def classify_pairs(self, pairs: np.ndarray) -> list[Domain]:
+        """Classify an ``(m, 2)`` array of consecutive-fraction pairs."""
+        return [self.classify(float(x), float(y)) for x, y in np.asarray(pairs, dtype=float)]
+
+    # -------------------------------------------------- Yellow′ (Section 3)
+
+    @property
+    def yellow_prime_lo(self) -> float:
+        return 0.5 - 4 * self.delta
+
+    @property
+    def yellow_prime_hi(self) -> float:
+        return 0.5 + 4 * self.delta
+
+    def in_yellow_prime(self, x: float, y: float) -> bool:
+        """Membership in the bounding square ``Yellow′`` of Lemma 6."""
+        lo, hi = self.yellow_prime_lo, self.yellow_prime_hi
+        return lo <= x <= hi and lo <= y <= hi
+
+    def classify_yellow_area(self, x: float, y: float) -> YellowArea:
+        """Classify a point of ``Yellow′`` into A/B/C (Figure 2).
+
+        * ``A1``: ``y ≥ 1/2`` and ``y − x ≥ x − 1/2`` — speed builds up.
+        * ``B1``: ``y ≥ x`` and ``y − x < x − 1/2`` — slow upward climb.
+        * ``C1``: ``y < 1/2`` and ``y ≥ x`` — pushed toward A.
+
+        Side-0 variants by point reflection; precedence A1, B1, C1, A0, B0,
+        C0 resolves shared boundaries.
+        """
+        if not self.in_yellow_prime(x, y):
+            return YellowArea.OUTSIDE
+        rx, ry = 1.0 - x, 1.0 - y
+        if y >= 0.5 and y - x >= x - 0.5:
+            return YellowArea.A1
+        if y >= x and y - x < x - 0.5:
+            return YellowArea.B1
+        if y < 0.5 and y >= x:
+            return YellowArea.C1
+        if ry >= 0.5 and ry - rx >= rx - 0.5:
+            return YellowArea.A0
+        if ry >= rx and ry - rx < rx - 0.5:
+            return YellowArea.B0
+        if ry < 0.5 and ry >= rx:
+            return YellowArea.C0
+        # Coverage is exhaustive (see tests); this line is unreachable but
+        # keeps the function total for defensive callers.
+        return YellowArea.OUTSIDE  # pragma: no cover
+
+    # ------------------------------------------------------------- utility
+
+    def speed(self, x: float, y: float) -> float:
+        """The paper's "speed" of a point: ``|x_{t+1} − x_t|``."""
+        return abs(y - x)
+
+    def grid_labels(self, resolution: int = 101) -> tuple[np.ndarray, np.ndarray, list[list[Domain]]]:
+        """Classify a regular grid; returns (xs, ys, labels[y][x]).
+
+        ``labels[i][j]`` classifies the point ``(xs[j], ys[i])`` — rows are
+        ``x_{t+1}`` values, matching the axes of Figure 1a.
+        """
+        xs = np.linspace(0.0, 1.0, resolution)
+        ys = np.linspace(0.0, 1.0, resolution)
+        labels = [[self.classify(float(x), float(y)) for x in xs] for y in ys]
+        return xs, ys, labels

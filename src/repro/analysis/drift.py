@@ -1,0 +1,120 @@
+"""Mean-field drift of the FET Markov chain.
+
+Observation 1 of the paper gives the conditional law of ``x_{t+2}`` given the
+pair ``(x_t, x_{t+1})``. Its expectation is the function ``g`` of Eq. (7):
+
+    g(x, y) = P(B_ℓ(y) > B_ℓ(x)) + y·P(B_ℓ(y) = B_ℓ(x))
+              + (1/n)·(1 − P(B_ℓ(y) ≥ B_ℓ(x)))
+
+so that ``E[x_{t+2} | x_t = x, x_{t+1} = y] = g(x, y)``. Section 3.2 studies
+the fixed points of ``y ↦ g(x, y)`` on ``[x, x + 1/√ℓ]`` (Claim 2) and shows
+the map ``f(x)`` amplifies the distance from 1/2 by a factor
+``1 + c₄/√ℓ`` (Claim 3 / Eq. (9)) — the engine behind escaping the Yellow
+region. This module computes all of these exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .coins import compare_binomials, compare_grid
+
+__all__ = [
+    "drift_g",
+    "drift_grid",
+    "fixed_point_f",
+    "amplification_factor",
+    "expected_next_pair",
+]
+
+
+def drift_g(x: float, y: float, ell: int, n: int) -> float:
+    """Eq. (7): expected next fraction given the last two fractions.
+
+    ``x`` is ``x_t``, ``y`` is ``x_{t+1}``; the source is assumed to hold
+    opinion 1 (the convention of the whole analysis).
+    """
+    if not (0.0 <= x <= 1.0 and 0.0 <= y <= 1.0):
+        raise ValueError(f"fractions must lie in [0, 1], got x={x}, y={y}")
+    cmp_ = compare_binomials(ell, y, x)  # first coin is y: P(B(y) > B(x))
+    p_gt = cmp_.p_first_wins
+    p_eq = cmp_.p_tie
+    p_ge = p_gt + p_eq
+    value = p_gt + y * p_eq + (1.0 - p_ge) / n
+    # The expression is a probability-weighted average, so it lies in [0, 1];
+    # clamp the few ulps of accumulated floating error.
+    return min(1.0, max(0.0, value))
+
+
+def drift_grid(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    ell: int,
+    n: int,
+) -> np.ndarray:
+    """Vectorized ``g`` over a grid.
+
+    Returns ``G[i, j] = g(xs[j], ys[i])`` — rows index ``y`` (``x_{t+1}``),
+    columns index ``x`` (``x_t``), matching the axes of Figure 1a.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    gt, eq = compare_grid(ell, ys, xs)  # gt[i, j] = P(B(ys[i]) > B(xs[j]))
+    ge = gt + eq
+    return np.clip(gt + ys[:, None] * eq + (1.0 - ge) / n, 0.0, 1.0)
+
+
+def fixed_point_f(x: float, ell: int, n: int, *, tol: float = 1e-12) -> float:
+    """The map ``f(x)`` of Section 3.2.
+
+    For ``x ∈ [1/2 + 4/n, 1/2 + 4δ]``: the unique solution of ``y = g(x, y)``
+    on ``[x, x + 1/√ℓ]`` if one exists (Claim 2 guarantees at most one),
+    otherwise ``x + 1/√ℓ``. Solved by bisection on ``h(y) = g(x, y) − y``,
+    which Claim 1 shows is strictly increasing on the interval.
+    """
+    lo = x
+    hi = min(1.0, x + 1.0 / math.sqrt(ell))
+
+    def h(y: float) -> float:
+        return drift_g(x, y, ell, n) - y
+
+    h_lo = h(lo)
+    h_hi = h(hi)
+    if h_lo >= 0.0:
+        # g(x, x) >= x can only happen below the 1/2 + 4/n threshold; Claim 2
+        # does not apply there. Return lo — the caller asked for the boundary
+        # fixed point.
+        return lo
+    if h_hi < 0.0:
+        return hi
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if h(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+def amplification_factor(x: float, ell: int, n: int) -> float:
+    """``(f(x) − 1/2) / (x − 1/2)``: the per-application gain of Eq. (9).
+
+    Claim 3 / Eq. (9) guarantee this exceeds ``1 + 1/(4α√ℓ)`` for
+    ``x ∈ [1/2 + 4/n, 1/2 + 4δ]``.
+    """
+    if x <= 0.5:
+        raise ValueError(f"amplification is defined for x > 1/2, got {x}")
+    return (fixed_point_f(x, ell, n) - 0.5) / (x - 0.5)
+
+
+def expected_next_pair(x: float, y: float, ell: int, n: int) -> tuple[float, float]:
+    """One mean-field step of the pair chain: ``(x_t, x_{t+1}) → (x_{t+1}, E[x_{t+2}])``.
+
+    Useful for tracing the deterministic skeleton of the dynamics over
+    Figure 1a (example ``trend_anatomy.py`` draws these orbits).
+    """
+    return y, drift_g(x, y, ell, n)

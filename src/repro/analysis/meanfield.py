@@ -1,0 +1,114 @@
+"""Deterministic mean-field skeleton of the FET pair dynamics.
+
+Iterating the pair map ``(x, y) ↦ (y, g(x, y))`` (with ``g`` from Eq. (7))
+gives the noise-free skeleton of the Markov chain — the "expected orbit"
+through the Figure 1a territory. This module traces such orbits, classifies
+where they end up, and computes the basin structure over a grid of starting
+pairs.
+
+Two caveats the stochastic analysis makes precise:
+
+* the skeleton is *repelled* from the absorbing edge: off exactly ``(1, 1)``
+  the mean-field decays multiplicatively toward the interior, whereas the
+  discrete chain pins to unanimity. Orbits are therefore classified by the
+  first time they *touch* the consensus band, not by their limit;
+* the zero-speed centre ``(1/2, 1/2)`` is *not* a fixed point: the source's
+  ``O(1/n)`` term in Eq. (7) seeds a tiny upward speed that the Claim-3
+  amplification compounds geometrically, so even the noise-free skeleton
+  escapes the centre (in ~12 steps at ℓ = 60, n = 10⁵). The stochastic
+  chain escapes faster still, riding ``1/√n`` sampling noise (Section 3);
+  the gap between the two is exactly what the Yellow analysis prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .drift import drift_g
+
+__all__ = ["OrbitFate", "MeanFieldOrbit", "trace_orbit", "basin_grid"]
+
+
+class OrbitFate(Enum):
+    """Where a mean-field orbit ends up."""
+
+    CORRECT = "correct"  # touched the correct-consensus band (y >= 1 - tol)
+    WRONG = "wrong"  # touched the wrong-consensus band first (y <= tol)
+    STALLED = "stalled"  # never left a small ball within the step budget
+
+
+@dataclass(frozen=True)
+class MeanFieldOrbit:
+    """A traced orbit: visited pairs, fate, and the step of first contact."""
+
+    points: np.ndarray  # (steps+1, 2) array of (x_t, x_{t+1}) pairs
+    fate: OrbitFate
+    hit_step: int | None
+
+    @property
+    def length(self) -> int:
+        return int(self.points.shape[0])
+
+
+def trace_orbit(
+    x0: float,
+    x1: float,
+    ell: int,
+    n: int,
+    *,
+    max_steps: int = 200,
+    tol: float = 1e-3,
+) -> MeanFieldOrbit:
+    """Iterate the pair map from ``(x0, x1)`` until consensus contact.
+
+    ``tol`` defines the consensus bands: the orbit is classified CORRECT as
+    soon as ``y ≥ 1 − tol`` and WRONG as soon as ``y ≤ tol`` (the wrong band
+    uses the non-source floor ``1/n`` implicitly: the mean-field map already
+    carries the source term of Eq. (7)). STALLED means neither band was
+    touched within ``max_steps``.
+    """
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+    x, y = float(x0), float(x1)
+    points = [(x, y)]
+    for step in range(1, max_steps + 1):
+        x, y = y, drift_g(x, y, ell, n)
+        points.append((x, y))
+        if y >= 1.0 - tol:
+            return MeanFieldOrbit(np.asarray(points), OrbitFate.CORRECT, step)
+        if y <= tol:
+            return MeanFieldOrbit(np.asarray(points), OrbitFate.WRONG, step)
+    return MeanFieldOrbit(np.asarray(points), OrbitFate.STALLED, None)
+
+
+def basin_grid(
+    ell: int,
+    n: int,
+    *,
+    resolution: int = 21,
+    max_steps: int = 200,
+    tol: float = 1e-3,
+) -> tuple[np.ndarray, list[list[OrbitFate]]]:
+    """Fate of the skeleton from every pair on a regular grid.
+
+    Returns ``(grid, fates)`` with ``fates[i][j]`` the fate from
+    ``(grid[j], grid[i])`` (rows index ``x_{t+1}``, as in Figure 1a).
+
+    The expected structure: WRONG above nothing — the wrong band is merely a
+    waypoint (the real chain bounces via Cyan, the skeleton's wrong-contact
+    is recorded as WRONG because the bounce happens *after* contact); the
+    upper-left half (upward trends) flows CORRECT; the exact diagonal centre
+    stalls.
+    """
+    grid = np.linspace(0.0, 1.0, resolution)
+    fates = [
+        [
+            trace_orbit(float(x), float(y), ell, n, max_steps=max_steps, tol=tol).fate
+            for x in grid
+        ]
+        for y in grid
+    ]
+    return grid, fates

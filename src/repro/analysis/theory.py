@@ -1,0 +1,106 @@
+"""The paper's quantitative predictions, as callable bounds.
+
+Every lemma in the proof of Theorem 1 bounds how long the chain can dwell in
+a domain. These functions expose those bounds so benchmarks can print
+"paper-predicted vs. measured" side by side. Bounds are asymptotic
+(``O(·)``/w.h.p.), so each takes an explicit constant; the *shape* in ``n``
+is the reproducible content.
+
+All logarithms are natural (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "theorem1_bound",
+    "yellow_dwell_bound",
+    "red_dwell_bound",
+    "cyan_dwell_bound",
+    "green_dwell_bound",
+    "purple_dwell_bound",
+    "cyan_growth_constant",
+    "cyan_gamma",
+    "yellow_b_dwell_bound",
+    "amplification_lower_bound",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 3:
+        raise ValueError(f"bounds need n >= 3, got {n}")
+
+
+def theorem1_bound(n: int, constant: float = 1.0) -> float:
+    """Theorem 1: total convergence time is ``O(log^{5/2} n)`` w.h.p."""
+    _check_n(n)
+    return constant * math.log(n) ** 2.5
+
+
+def yellow_dwell_bound(n: int, constant: float = 1.0) -> float:
+    """Lemma 5: consecutive rounds spent in Yellow are ``O(log^{5/2} n)``."""
+    return theorem1_bound(n, constant)
+
+
+def red_dwell_bound(n: int, delta: float = 0.05) -> float:
+    """Lemma 3: at most ``log^{1/2+2δ} n`` consecutive rounds in Red."""
+    _check_n(n)
+    return math.log(n) ** (0.5 + 2 * delta)
+
+
+def cyan_dwell_bound(n: int) -> float:
+    """Lemma 4: at most ``log n / log log n`` consecutive rounds in Cyan.
+
+    Needs ``log log n > 0``, i.e. ``n > e``; callers use n ≥ 16.
+    """
+    _check_n(n)
+    loglog = math.log(math.log(n))
+    if loglog <= 0:
+        raise ValueError(f"cyan bound needs log log n > 0, got n={n}")
+    return math.log(n) / loglog
+
+
+def green_dwell_bound(n: int) -> float:
+    """Lemma 1: from Green the non-sources reach consensus in one round."""
+    _check_n(n)
+    return 1.0
+
+
+def purple_dwell_bound(n: int) -> float:
+    """Lemma 2: from Purple the chain enters Green in one round w.h.p."""
+    _check_n(n)
+    return 1.0
+
+
+def yellow_b_dwell_bound(n: int, c: float, c4: float) -> float:
+    """Lemma 10: consecutive rounds in area B are at most ``(√c/c₄)·log^{3/2} n``."""
+    _check_n(n)
+    if c <= 0 or c4 <= 0:
+        raise ValueError("c and c4 must be positive")
+    return (math.sqrt(c) / c4) * math.log(n) ** 1.5
+
+
+def cyan_growth_constant(c: float) -> float:
+    """Section 4's ``K(c) = c·e^{−2c}/2``: per-round growth is ``K·log n``."""
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    return c * math.exp(-2 * c) / 2
+
+
+def cyan_gamma(c: float) -> float:
+    """Section 4's ``γ(c) = (1 − 1/e)·e^{−2c}/2`` threshold."""
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    return (1 - 1 / math.e) * math.exp(-2 * c) / 2
+
+
+def amplification_lower_bound(ell: int, alpha: float = 9.0) -> float:
+    """Eq. (9): ``f(x) − 1/2 > (1 + c₄/√ℓ)(x − 1/2)`` with ``c₄ = 1/(4α)``.
+
+    Returns the factor ``1 + 1/(4α√ℓ)``.
+    """
+    if ell < 1:
+        raise ValueError(f"ell must be >= 1, got {ell}")
+    c4 = 1.0 / (4.0 * alpha)
+    return 1.0 + c4 / math.sqrt(ell)

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, dependency-free front door for the library's main entry points:
+
+* ``demo``   — one FET run with a trajectory chart.
+* ``map``    — the Figure 1a domain map for a given n.
+* ``scale``  — a quick Theorem-1 scaling sweep with exponent fit.
+* ``compare``— FET vs. the baseline protocols from the all-wrong start.
+
+Each command accepts ``--seed`` and prints plain text; exit code 0 on
+success. The heavy, assertion-carrying versions of these experiments live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from .analysis.domains import DomainPartition
+from .core.engine import run_protocol
+from .core.population import make_population
+from .core.rng import make_rng
+from .experiments.convergence import fit_scaling, sweep_population_sizes
+from .experiments.harness import run_trials
+from .initializers.standard import AllWrong
+from .protocols.fet import FETProtocol, ell_for
+from .protocols.majority_sampling import MajoritySamplingProtocol
+from .protocols.oracle_clock import OracleClockProtocol
+from .protocols.voter import VoterProtocol
+from .viz.ascii_grid import render_domain_map, render_trajectory
+from .viz.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Korman & Vacus (PODC 2022): FET under passive communication.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run FET once from the all-wrong start")
+    demo.add_argument("-n", type=int, default=5000, help="population size (default 5000)")
+
+    map_cmd = sub.add_parser("map", help="print the Figure 1a domain map")
+    map_cmd.add_argument("-n", type=int, default=1000, help="population size (default 1000)")
+    map_cmd.add_argument("--delta", type=float, default=0.05, help="partition delta (default 0.05)")
+    map_cmd.add_argument("--resolution", type=int, default=61, help="grid columns (default 61)")
+
+    scale = sub.add_parser("scale", help="quick Theorem-1 scaling sweep")
+    scale.add_argument("--trials", type=int, default=8, help="trials per size (default 8)")
+
+    compare = sub.add_parser("compare", help="FET vs baselines from the all-wrong start")
+    compare.add_argument("-n", type=int, default=1000, help="population size (default 1000)")
+    compare.add_argument("--trials", type=int, default=5, help="trials per protocol (default 5)")
+
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    n = args.n
+    rng = make_rng(args.seed)
+    protocol = FETProtocol(ell_for(n))
+    population = make_population(n, correct_opinion=1)
+    state = protocol.init_state(n, rng)
+    AllWrong()(population, protocol, state, rng)
+    result = run_protocol(protocol, population, max_rounds=20_000, rng=rng, state=state)
+    print(f"FET: n={n}, ell={protocol.ell}, all-wrong start")
+    print(f"converged={result.converged} in {result.rounds} rounds "
+          f"(ln^2.5 n = {math.log(n) ** 2.5:.0f})")
+    print(render_trajectory(result.trajectory))
+    return 0 if result.converged else 1
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    partition = DomainPartition(n=args.n, delta=args.delta)
+    print(render_domain_map(partition, resolution=args.resolution))
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    ns = [128, 256, 512, 1024, 2048, 4096]
+    rows = sweep_population_sizes(ns, trials=args.trials, seed=args.seed)
+    table = []
+    for row in rows:
+        summary = row.stats.time_summary()
+        table.append([row.n, row.ell, row.stats.row()["success"], summary.median, summary.p95])
+    print(format_table(["n", "ell", "success", "median T", "p95 T"], table))
+    fit = fit_scaling(rows)
+    print(f"\nfit T(n) = a*(ln n)^b: a={fit.a:.3f}, b={fit.b:.3f}, R^2={fit.r_squared:.3f}")
+    print("paper upper bound: b <= 2.5")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    n = args.n
+    ell = ell_for(n)
+    budget = max(200, int(3 * math.log(n) ** 2.5))
+    lineup = [
+        ("FET", lambda: FETProtocol(ell)),
+        ("voter", lambda: VoterProtocol()),
+        ("sample-majority", lambda: MajoritySamplingProtocol(ell)),
+        ("oracle-clock", lambda: OracleClockProtocol(n, ell=1)),
+    ]
+    table = []
+    for index, (label, factory) in enumerate(lineup):
+        stats = run_trials(
+            factory,
+            n,
+            AllWrong(),
+            trials=args.trials,
+            max_rounds=budget,
+            seed=args.seed + index,
+        )
+        summary = stats.time_summary()
+        table.append([
+            label,
+            stats.row()["success"],
+            "-" if summary.count == 0 else f"{summary.median:.0f}",
+        ])
+    print(f"n={n}, all-wrong start, poly-log budget {budget} rounds")
+    print(format_table(["protocol", "converged", "median T"], table))
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "map": _cmd_map,
+    "scale": _cmd_scale,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Core substrate: population, sampling, protocol interface, round engine."""
+
+from .engine import SynchronousEngine, run_protocol
+from .noise import NoisyCountSampler, noisy_fraction
+from .population import PopulationState, make_majority_population, make_population
+from .protocol import Protocol, ProtocolState
+from .records import RoundRecord, RunResult
+from .rng import as_rng, derive_rng, make_rng, spawn_rngs
+from .sampling import BinomialCountSampler, IndexSampler, Sampler
+
+__all__ = [
+    "BinomialCountSampler",
+    "IndexSampler",
+    "NoisyCountSampler",
+    "PopulationState",
+    "Protocol",
+    "ProtocolState",
+    "RoundRecord",
+    "RunResult",
+    "Sampler",
+    "SynchronousEngine",
+    "as_rng",
+    "derive_rng",
+    "make_majority_population",
+    "make_population",
+    "make_rng",
+    "noisy_fraction",
+    "run_protocol",
+    "spawn_rngs",
+]

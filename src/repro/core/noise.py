@@ -1,0 +1,75 @@
+"""Observation-noise extension: faulty passive observations.
+
+The paper's biological motivation (animals scanning each other at a
+distance) makes perception errors natural, and its bibliography studies
+rumor spreading under message corruption (Feinerman et al. 2017, Boczkowski
+et al. 2018a). This extension models the simplest such fault: every observed
+opinion bit is independently flipped with probability ``epsilon``.
+
+Under uniform-with-replacement sampling, a flipped observation of a
+population with one-fraction ``x`` reads 1 with probability
+``x(1−ε) + (1−x)ε``, so the noisy count is exactly
+``Binomial(ℓ, x + ε(1−2x))`` — implemented by perturbing the effective
+fraction, which keeps the O(n)-per-round fast path.
+
+The robustness benchmark (E-noise) maps how much noise FET tolerates. The
+noise is unbiased (it shrinks the drift by (1−2ε) without biasing it), so
+FET still *reaches* near-consensus quickly — but it cannot *retain* it:
+exact unanimity is the only configuration where every comparison ties, so
+it is a knife-edge. A single noisy observation reads as a downward trend,
+the trend rule amplifies it, and the population falls into sustained
+oscillations for any ε > 0 (measured down to ε = 1e-5). See
+:mod:`repro.experiments.robustness` for the reach-vs-retain split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .population import PopulationState
+from .sampling import Sampler
+
+__all__ = ["NoisyCountSampler", "noisy_fraction"]
+
+
+def noisy_fraction(x: float, epsilon: float) -> float:
+    """Effective one-fraction seen through per-bit flip noise ε."""
+    if not 0.0 <= epsilon <= 0.5:
+        raise ValueError(f"epsilon must be in [0, 1/2], got {epsilon}")
+    return x + epsilon * (1.0 - 2.0 * x)
+
+
+class NoisyCountSampler(Sampler):
+    """Fast sampler whose every observed bit flips independently w.p. ε.
+
+    Exact in distribution for the flip-noise model (see module docstring).
+    ``epsilon = 0`` reduces to the noiseless fast sampler.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 <= epsilon <= 0.5:
+            raise ValueError(f"epsilon must be in [0, 1/2], got {epsilon}")
+        self.epsilon = epsilon
+
+    def counts(
+        self,
+        population: PopulationState,
+        ell: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if ell < 0:
+            raise ValueError(f"ell must be non-negative, got {ell}")
+        x = noisy_fraction(population.fraction_ones(), self.epsilon)
+        return rng.binomial(ell, x, size=population.n)
+
+    def count_blocks(
+        self,
+        population: PopulationState,
+        ell: int,
+        blocks: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if ell < 0:
+            raise ValueError(f"ell must be non-negative, got {ell}")
+        x = noisy_fraction(population.fraction_ones(), self.epsilon)
+        return rng.binomial(ell, x, size=(blocks, population.n))

@@ -1,0 +1,108 @@
+"""Protocol interface.
+
+A protocol is the per-agent update rule executed synchronously each round. To
+keep large-``n`` simulation fast, protocols are written in vectorized form:
+one :meth:`Protocol.step` call computes the tentative next opinion of *every*
+agent at once from the shared population snapshot and the protocol's internal
+per-agent state arrays.
+
+Self-stabilization contract
+---------------------------
+The adversary controls the full initial configuration: opinions *and* internal
+state. Every protocol therefore implements :meth:`randomize_state`, which
+draws a uniformly random valid internal state, and keeps all state in a plain
+``dict[str, np.ndarray]`` so adversarial initializers can overwrite it
+directly. Convergence results in this repository are always reported under
+adversarial initialization unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from .population import PopulationState
+from .sampling import Sampler
+
+__all__ = ["Protocol", "ProtocolState"]
+
+#: Internal per-agent protocol state: name -> array of shape (n,) or (k, n).
+ProtocolState = dict[str, np.ndarray]
+
+
+class Protocol(ABC):
+    """Abstract synchronous-round protocol.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in tables and benchmark output.
+    passive:
+        ``True`` when the information revealed by an agent is exactly its
+        opinion bit (the paper's passive-communication model). Non-passive
+        baselines (decoupled messages) set this ``False``.
+    """
+
+    name: str = "protocol"
+    passive: bool = True
+
+    @abstractmethod
+    def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        """Return the protocol's designated initial internal state.
+
+        This is the "clean start" state. Self-stabilization experiments do
+        not use it directly; they call :meth:`randomize_state`.
+        """
+
+    def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        """Return a uniformly random *valid* internal state (adversarial).
+
+        Default: the clean initial state. Protocols with internal variables
+        must override so the adversary truly controls them.
+        """
+        return self.init_state(n, rng)
+
+    @abstractmethod
+    def step(
+        self,
+        population: PopulationState,
+        state: ProtocolState,
+        sampler: Sampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Execute one synchronous round for all agents.
+
+        Reads the population snapshot (opinions of round ``t``), performs the
+        protocol's sampling through ``sampler``, mutates ``state`` in place to
+        its round-``t+1`` value, and returns the tentative opinion vector for
+        round ``t+1``. The engine installs the returned opinions and re-pins
+        sources, so protocols may uniformly update everyone.
+        """
+
+    # ------------------------------------------------------------ accounting
+
+    def samples_per_round(self) -> int:
+        """Total number of PULL samples each agent draws per round."""
+        return 0
+
+    def memory_bits(self) -> float:
+        """Bits of internal memory per agent beyond the opinion bit.
+
+        Used by the memory benchmark (E-mem) to check the ``O(log ℓ)`` claim
+        of Theorem 1. Protocols without internal state return 0.
+        """
+        return 0.0
+
+    def describe(self) -> dict[str, Any]:
+        """Structured description used by benchmark tables."""
+        return {
+            "name": self.name,
+            "passive": self.passive,
+            "samples_per_round": self.samples_per_round(),
+            "memory_bits": self.memory_bits(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,144 @@
+"""PULL-model sampling substrate.
+
+In the paper's ``PULL`` model each agent observes the opinions of ``ℓ`` agents
+chosen uniformly at random *with replacement* each round. Under passive
+communication the only extractable information is the opinion bit, so an
+observation is fully summarized by *the number of 1-opinions among the ℓ
+samples* (paper, Section 1.2).
+
+Two interchangeable samplers are provided:
+
+* :class:`BinomialCountSampler` — the fast path. When sampling uniformly with
+  replacement from a population whose one-fraction is ``x``, the count of ones
+  among ``ℓ`` draws is exactly ``Binomial(ℓ, x)``; we draw those counts
+  directly, one per agent, in O(n) per round. This is an *exact* simulation of
+  the model, not an approximation.
+* :class:`IndexSampler` — the literal path. Draws explicit agent indices and
+  counts ones among them. Slower, but supports ``exclude_self`` (sampling "ℓ
+  *other* agents") and non-passive protocols that need to read sampled agents'
+  message vectors. Tests verify it agrees in distribution with the fast path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .population import PopulationState
+
+__all__ = ["Sampler", "BinomialCountSampler", "IndexSampler"]
+
+
+class Sampler(ABC):
+    """Produces per-agent PULL observations from the current population."""
+
+    @abstractmethod
+    def counts(
+        self,
+        population: PopulationState,
+        ell: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return an ``(n,)`` int array: per-agent number of 1-opinions seen
+        among ``ell`` uniform-with-replacement samples."""
+
+    def count_blocks(
+        self,
+        population: PopulationState,
+        ell: int,
+        blocks: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return an ``(blocks, n)`` int array of independent count vectors.
+
+        FET draws ``2ℓ`` samples and partitions them into two blocks of ℓ;
+        with uniform-with-replacement sampling the two block counts are
+        independent ``Binomial(ℓ, x)`` variables, which is what this returns
+        for ``blocks=2``.
+        """
+        return np.stack([self.counts(population, ell, rng) for _ in range(blocks)])
+
+    def indices(
+        self,
+        population: PopulationState,
+        ell: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return an ``(n, ell)`` int array of sampled agent indices.
+
+        Only meaningful for samplers that materialize identities; the fast
+        sampler raises, since passive protocols never need identities.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not materialize sampled indices")
+
+
+class BinomialCountSampler(Sampler):
+    """Exact-in-distribution fast sampler (see module docstring)."""
+
+    def counts(
+        self,
+        population: PopulationState,
+        ell: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if ell < 0:
+            raise ValueError(f"ell must be non-negative, got {ell}")
+        x = population.fraction_ones()
+        return rng.binomial(ell, x, size=population.n)
+
+    def count_blocks(
+        self,
+        population: PopulationState,
+        ell: int,
+        blocks: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if ell < 0:
+            raise ValueError(f"ell must be non-negative, got {ell}")
+        x = population.fraction_ones()
+        return rng.binomial(ell, x, size=(blocks, population.n))
+
+
+class IndexSampler(Sampler):
+    """Literal index-level sampler.
+
+    Parameters
+    ----------
+    exclude_self:
+        When ``True``, agent ``i`` never samples itself (the paper's "ℓ
+        *other* agents"). For ``ℓ ≪ n`` the difference from unrestricted
+        sampling is ``O(ℓ/n)`` per observation and does not affect any result;
+        the option exists so the claim can be checked rather than assumed.
+    """
+
+    def __init__(self, exclude_self: bool = False) -> None:
+        self.exclude_self = exclude_self
+
+    def indices(
+        self,
+        population: PopulationState,
+        ell: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n = population.n
+        if ell < 0:
+            raise ValueError(f"ell must be non-negative, got {ell}")
+        if not self.exclude_self:
+            return rng.integers(0, n, size=(n, ell))
+        # Sample from n-1 "other" agents: draw in [0, n-2] and shift values
+        # >= own index up by one, a standard bijection onto {0..n-1} \ {i}.
+        draws = rng.integers(0, n - 1, size=(n, ell))
+        own = np.arange(n)[:, None]
+        return draws + (draws >= own)
+
+    def counts(
+        self,
+        population: PopulationState,
+        ell: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        idx = self.indices(population, ell, rng)
+        if idx.size == 0:
+            return np.zeros(population.n, dtype=np.int64)
+        return population.opinions[idx].sum(axis=1).astype(np.int64)

@@ -1,0 +1,31 @@
+"""Experiment harnesses: trial batches, scaling sweeps, domain transitions."""
+
+from .adaptivity import AdaptivityResult, run_changing_environment
+from .convergence import ScalingRow, fit_scaling, sweep_population_sizes, sweep_sample_sizes
+from .harness import TrialStats, run_trials
+from .multisource import SourceRow, sweep_sources
+from .robustness import NoiseRow, sweep_noise
+from .trajectories import AnnotatedRun, run_annotated
+from .transitions import TransitionSummary, collect_transitions
+from .worst_case import WorstCaseResult, search_worst_start
+
+__all__ = [
+    "AdaptivityResult",
+    "AnnotatedRun",
+    "NoiseRow",
+    "ScalingRow",
+    "SourceRow",
+    "TransitionSummary",
+    "TrialStats",
+    "WorstCaseResult",
+    "collect_transitions",
+    "fit_scaling",
+    "run_annotated",
+    "run_changing_environment",
+    "run_trials",
+    "search_worst_start",
+    "sweep_noise",
+    "sweep_population_sizes",
+    "sweep_sample_sizes",
+    "sweep_sources",
+]

@@ -1,0 +1,106 @@
+"""Convergence-time sweeps (Theorem 1 headline and the ℓ ablation).
+
+``sweep_population_sizes`` measures FET's convergence time as ``n`` grows
+with ``ℓ = ⌈c·ln n⌉`` — the setting of Theorem 1 — and
+``sweep_sample_sizes`` fixes ``n`` and varies ℓ to probe the open question
+from the discussion section (can constant ℓ work?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..initializers.standard import AllWrong, Initializer
+from ..protocols.fet import DEFAULT_SAMPLE_CONSTANT, FETProtocol, ell_for
+from ..stats.fitting import LogPowerFit, fit_log_power
+from .harness import TrialStats, run_trials
+
+__all__ = ["ScalingRow", "sweep_population_sizes", "sweep_sample_sizes", "fit_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One sweep point: population size, sample size, and its trial stats."""
+
+    n: int
+    ell: int
+    stats: TrialStats
+
+
+def sweep_population_sizes(
+    ns: list[int],
+    *,
+    trials: int,
+    seed: int,
+    sample_constant: float = DEFAULT_SAMPLE_CONSTANT,
+    initializer: Initializer | None = None,
+    max_rounds_factor: float = 40.0,
+) -> list[ScalingRow]:
+    """Measure FET convergence for each ``n`` with ``ℓ = ⌈c·ln n⌉``.
+
+    ``max_rounds_factor`` scales the per-run budget as a multiple of
+    ``(ln n)^{5/2}`` so that non-convergence is meaningful relative to the
+    theorem's bound rather than to an arbitrary constant.
+    """
+    initializer = initializer if initializer is not None else AllWrong()
+    rows: list[ScalingRow] = []
+    for index, n in enumerate(ns):
+        ell = ell_for(n, sample_constant)
+        max_rounds = max(50, int(max_rounds_factor * np.log(n) ** 2.5))
+        stats = run_trials(
+            lambda ell=ell: FETProtocol(ell),
+            n,
+            initializer,
+            trials=trials,
+            max_rounds=max_rounds,
+            seed=seed + index,
+        )
+        rows.append(ScalingRow(n=n, ell=ell, stats=stats))
+    return rows
+
+
+def sweep_sample_sizes(
+    n: int,
+    ells: list[int],
+    *,
+    trials: int,
+    seed: int,
+    initializer: Initializer | None = None,
+    max_rounds: int | None = None,
+) -> list[ScalingRow]:
+    """Measure FET convergence at fixed ``n`` for each sample size ℓ."""
+    initializer = initializer if initializer is not None else AllWrong()
+    if max_rounds is None:
+        max_rounds = max(200, int(40 * np.log(n) ** 2.5))
+    rows: list[ScalingRow] = []
+    for index, ell in enumerate(ells):
+        stats = run_trials(
+            lambda ell=ell: FETProtocol(ell),
+            n,
+            initializer,
+            trials=trials,
+            max_rounds=max_rounds,
+            seed=seed + index,
+        )
+        rows.append(ScalingRow(n=n, ell=ell, stats=stats))
+    return rows
+
+
+def fit_scaling(rows: list[ScalingRow], statistic: str = "median") -> LogPowerFit:
+    """Fit ``T(n) = a·(ln n)^b`` to a population-size sweep.
+
+    ``statistic`` selects which summary of the per-``n`` time distribution is
+    fitted (``median``, ``mean``, or ``p95``). Rows without any successful
+    trial are excluded (and should be rare under a sane budget).
+    """
+    ns: list[int] = []
+    ts: list[float] = []
+    for row in rows:
+        summary = row.stats.time_summary()
+        value = getattr(summary, "maximum" if statistic == "max" else statistic)
+        if summary.count > 0 and value > 0:
+            ns.append(row.n)
+            ts.append(value)
+    return fit_log_power(np.asarray(ns), np.asarray(ts))

@@ -1,0 +1,127 @@
+"""Multi-trial experiment harness.
+
+Runs many independent trials of a protocol from a chosen initializer, each on
+its own spawned RNG stream, and aggregates convergence statistics. This is
+the workhorse behind every benchmark table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.engine import SynchronousEngine
+from ..core.population import PopulationState, make_population
+from ..core.protocol import Protocol
+from ..core.records import RunResult
+from ..core.rng import spawn_rngs
+from ..core.sampling import Sampler
+from ..initializers.standard import Initializer
+from ..stats.summary import TimesSummary, describe_times, wilson_interval
+
+__all__ = ["TrialStats", "run_trials"]
+
+
+@dataclass
+class TrialStats:
+    """Aggregated outcome of a batch of trials."""
+
+    protocol_name: str
+    initializer_name: str
+    n: int
+    trials: int
+    max_rounds: int
+    successes: int
+    times: np.ndarray  # convergence rounds of the successful trials
+    results: list[RunResult] = field(default_factory=list, repr=False)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else float("nan")
+
+    @property
+    def success_interval(self) -> tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    def time_summary(self) -> TimesSummary:
+        return describe_times(self.times)
+
+    def row(self) -> dict:
+        """Flat dict for table rendering."""
+        summary = self.time_summary()
+        lo, hi = self.success_interval
+        return {
+            "protocol": self.protocol_name,
+            "init": self.initializer_name,
+            "n": self.n,
+            "trials": self.trials,
+            "success": f"{self.successes}/{self.trials}",
+            "rate_ci": f"[{lo:.2f},{hi:.2f}]",
+            "median": summary.median,
+            "mean": summary.mean,
+            "p95": summary.p95,
+            "max": summary.maximum,
+        }
+
+
+def run_trials(
+    protocol_factory: Callable[[], Protocol],
+    n: int,
+    initializer: Initializer,
+    *,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    correct_opinion: int = 1,
+    sampler_factory: Callable[[], Sampler] | None = None,
+    population_factory: Callable[[], PopulationState] | None = None,
+    stability_rounds: int = 2,
+    keep_results: bool = False,
+) -> TrialStats:
+    """Run ``trials`` independent runs and aggregate their outcomes.
+
+    Each trial builds a fresh population and protocol (factories keep trials
+    independent even for stateful protocols), applies ``initializer`` under
+    its own RNG stream, and runs to convergence or ``max_rounds``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rngs = spawn_rngs(seed, trials)
+    times: list[int] = []
+    successes = 0
+    results: list[RunResult] = []
+    protocol_name = ""
+    init_name = initializer.name
+    for rng in rngs:
+        protocol = protocol_factory()
+        protocol_name = protocol.name
+        population = (
+            population_factory() if population_factory is not None else make_population(n, correct_opinion)
+        )
+        state = protocol.init_state(population.n, rng)
+        initializer(population, protocol, state, rng)
+        engine = SynchronousEngine(
+            protocol,
+            population,
+            sampler=sampler_factory() if sampler_factory is not None else None,
+            rng=rng,
+            state=state,
+        )
+        result = engine.run(max_rounds, stability_rounds=stability_rounds)
+        if result.converged:
+            successes += 1
+            times.append(result.rounds)
+        if keep_results:
+            results.append(result)
+    return TrialStats(
+        protocol_name=protocol_name,
+        initializer_name=init_name,
+        n=n,
+        trials=trials,
+        max_rounds=max_rounds,
+        successes=successes,
+        times=np.asarray(times, dtype=float),
+        results=results,
+    )

@@ -1,0 +1,57 @@
+"""Multi-source experiment (extension E-multi).
+
+The paper's framework "can be extended to allow for a constant number of
+sources" as long as they agree on the correct opinion, and the discussion
+conjectures larger source regimes are "also manageable". This experiment
+sweeps the number of agreeing sources from 1 to a constant fraction of n
+and measures FET's convergence — more sources can only help (each pins more
+probability mass on the correct side), and the sweep quantifies by how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.population import make_population
+from ..initializers.standard import AllWrong, Initializer
+from ..protocols.fet import FETProtocol
+from .harness import TrialStats, run_trials
+
+__all__ = ["SourceRow", "sweep_sources"]
+
+
+@dataclass(frozen=True)
+class SourceRow:
+    num_sources: int
+    stats: TrialStats
+
+
+def sweep_sources(
+    n: int,
+    ell: int,
+    source_counts: list[int],
+    *,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    initializer: Initializer | None = None,
+) -> list[SourceRow]:
+    """Measure FET convergence for each number of agreeing sources."""
+    initializer = initializer if initializer is not None else AllWrong()
+    rows: list[SourceRow] = []
+    for index, k in enumerate(source_counts):
+        if not 1 <= k < n:
+            raise ValueError(f"source count must be in [1, n), got {k}")
+        stats = run_trials(
+            lambda: FETProtocol(ell),
+            n,
+            initializer,
+            trials=trials,
+            max_rounds=max_rounds,
+            seed=seed + index,
+            population_factory=lambda k=k: make_population(n, 1, num_sources=k),
+        )
+        rows.append(SourceRow(num_sources=k, stats=stats))
+    return rows

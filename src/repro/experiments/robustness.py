@@ -1,0 +1,100 @@
+"""Noise-robustness experiment (extension E-noise).
+
+Under per-bit observation noise ε (see :mod:`repro.core.noise`), exact
+consensus stops being absorbing: from all-correct, an agent's two counters
+are i.i.d. ``Binomial(ℓ, 1−ε)`` draws, ties stop being guaranteed, and
+defections appear. Worse, FET is a *trend follower*: it amplifies the
+spurious trend a defection creates, so for ANY ε > 0 (measured down to
+1e-5) the population eventually falls off the consensus knife-edge into
+sustained oscillations — it keeps *reaching* near-consensus quickly but
+cannot *retain* it. (Measured in the E-noise benchmark; an honest negative
+robustness result for the plain protocol, suggesting hysteresis or averaging
+would be needed in noisy environments.)
+
+The meaningful criteria are therefore split: *θ-convergence* (first time the
+fraction of correct non-sources reaches ``θ``) and the *settle level* (mean
+correct fraction over a window after θ was reached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.engine import SynchronousEngine
+from ..core.noise import NoisyCountSampler
+from ..core.population import make_population
+from ..core.rng import spawn_rngs
+from ..initializers.standard import AllWrong, Initializer
+from ..protocols.fet import FETProtocol
+
+__all__ = ["NoiseRow", "sweep_noise"]
+
+
+@dataclass(frozen=True)
+class NoiseRow:
+    """Outcome of one noise level: θ-convergence stats and settle level."""
+
+    epsilon: float
+    trials: int
+    reached_theta: int
+    median_rounds: float
+    mean_settle_level: float
+
+
+def sweep_noise(
+    n: int,
+    ell: int,
+    epsilons: list[float],
+    *,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    theta: float = 0.95,
+    settle_window: int = 20,
+    initializer: Initializer | None = None,
+) -> list[NoiseRow]:
+    """Measure FET's θ-convergence time and settle level per noise level."""
+    initializer = initializer if initializer is not None else AllWrong()
+    rows: list[NoiseRow] = []
+    for eps_index, epsilon in enumerate(epsilons):
+        times: list[int] = []
+        settle_levels: list[float] = []
+        reached = 0
+        for rng in spawn_rngs(seed + eps_index, trials):
+            protocol = FETProtocol(ell)
+            population = make_population(n, 1)
+            state = protocol.init_state(n, rng)
+            initializer(population, protocol, state, rng)
+            engine = SynchronousEngine(
+                population=population,
+                protocol=protocol,
+                sampler=NoisyCountSampler(epsilon),
+                rng=rng,
+                state=state,
+            )
+            result = engine.run(
+                max_rounds,
+                stability_rounds=1,
+                stop_condition=lambda pop: pop.nonsource_correct_fraction() >= theta,
+            )
+            if result.converged:
+                reached += 1
+                times.append(result.rounds)
+                # Let the system settle and record its noise-floor level.
+                levels = []
+                for _ in range(settle_window):
+                    engine.step()
+                    levels.append(population.nonsource_correct_fraction())
+                settle_levels.append(float(np.mean(levels)))
+        rows.append(
+            NoiseRow(
+                epsilon=epsilon,
+                trials=trials,
+                reached_theta=reached,
+                median_rounds=float(np.median(times)) if times else float("nan"),
+                mean_settle_level=float(np.mean(settle_levels)) if settle_levels else float("nan"),
+            )
+        )
+    return rows

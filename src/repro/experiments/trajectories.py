@@ -1,0 +1,66 @@
+"""Single-run trajectory recording with domain annotation.
+
+Connects the simulator to the analysis layer: runs a protocol once, then
+labels every consecutive-fraction pair ``(x_t, x_{t+1})`` with its Figure 1a
+domain. Used by the Figure 1b experiment and by the trajectory examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.domains import Domain, DomainPartition
+from ..core.engine import SynchronousEngine
+from ..core.population import make_population
+from ..core.protocol import Protocol
+from ..core.records import RunResult
+from ..core.rng import as_rng
+from ..initializers.standard import Initializer
+
+__all__ = ["AnnotatedRun", "run_annotated"]
+
+
+@dataclass
+class AnnotatedRun:
+    """A run result plus the domain label of every trajectory pair."""
+
+    result: RunResult
+    domains: list[Domain]
+
+    def domain_families(self) -> list[str]:
+        return [d.family for d in self.domains]
+
+    def dwell_segments(self) -> list[tuple[Domain, int]]:
+        """Run-length encode the domain sequence: [(domain, rounds), …]."""
+        segments: list[tuple[Domain, int]] = []
+        for label in self.domains:
+            if segments and segments[-1][0] is label:
+                segments[-1] = (label, segments[-1][1] + 1)
+            else:
+                segments.append((label, 1))
+        return segments
+
+
+def run_annotated(
+    protocol: Protocol,
+    n: int,
+    initializer: Initializer,
+    *,
+    max_rounds: int,
+    seed: int | np.random.Generator,
+    correct_opinion: int = 1,
+    delta: float = 0.05,
+    stability_rounds: int = 2,
+) -> AnnotatedRun:
+    """Run once and classify every trajectory pair into Figure 1a domains."""
+    rng = as_rng(seed)
+    population = make_population(n, correct_opinion)
+    state = protocol.init_state(n, rng)
+    initializer(population, protocol, state, rng)
+    engine = SynchronousEngine(protocol, population, rng=rng, state=state)
+    result = engine.run(max_rounds, stability_rounds=stability_rounds)
+    partition = DomainPartition(n=n, delta=delta)
+    domains = partition.classify_pairs(result.pairs())
+    return AnnotatedRun(result=result, domains=domains)

@@ -1,0 +1,24 @@
+"""Initial-configuration builders, standard and adversarial."""
+
+from .adversarial import FrozenUnanimity, PoisonedCounters, TwoRoundTarget, ZeroSpeedCenter
+from .standard import (
+    AllCorrect,
+    AllWrong,
+    BernoulliRandom,
+    ExactFraction,
+    Initializer,
+    RandomizeProtocolState,
+)
+
+__all__ = [
+    "AllCorrect",
+    "AllWrong",
+    "BernoulliRandom",
+    "ExactFraction",
+    "FrozenUnanimity",
+    "Initializer",
+    "PoisonedCounters",
+    "RandomizeProtocolState",
+    "TwoRoundTarget",
+    "ZeroSpeedCenter",
+]

@@ -1,0 +1,133 @@
+"""Standard initial-configuration builders.
+
+An initializer installs an initial opinion vector (and optionally internal
+protocol state) into a population before a run. The self-stabilizing setting
+means the adversary controls everything, so experiments sweep over these
+classes; the crafted worst-case constructions live in
+:mod:`repro.initializers.adversarial`.
+
+Every initializer is a callable ``(population, protocol, state, rng) -> None``
+mutating its arguments in place; :class:`Initializer` provides the naming
+plumbing used by benchmark tables.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.population import PopulationState
+from ..core.protocol import Protocol, ProtocolState
+
+__all__ = [
+    "Initializer",
+    "AllWrong",
+    "AllCorrect",
+    "BernoulliRandom",
+    "ExactFraction",
+    "RandomizeProtocolState",
+]
+
+
+class Initializer(ABC):
+    """Base class: installs opinions and/or protocol state in place."""
+
+    name: str = "initializer"
+
+    @abstractmethod
+    def apply(
+        self,
+        population: PopulationState,
+        protocol: Protocol,
+        state: ProtocolState,
+        rng: np.random.Generator,
+    ) -> None:
+        """Mutate ``population`` / ``state`` to the initial configuration."""
+
+    def __call__(
+        self,
+        population: PopulationState,
+        protocol: Protocol,
+        state: ProtocolState,
+        rng: np.random.Generator,
+    ) -> None:
+        self.apply(population, protocol, state, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class AllWrong(Initializer):
+    """Every non-source agent starts on the wrong opinion.
+
+    The canonical dissemination start: the source's information has to spread
+    against a unanimous wrong consensus. Corresponds to the Cyan region of the
+    grid (``x_t ≈ x_{t+1} ≈ 0`` when correct = 1).
+    """
+
+    name = "all-wrong"
+
+    def apply(self, population, protocol, state, rng) -> None:
+        wrong = 1 - population.correct_opinion
+        opinions = np.full(population.n, wrong, dtype=np.uint8)
+        population.adversarial_opinions(opinions)
+        state.update(protocol.randomize_state(population.n, rng))
+
+
+class AllCorrect(Initializer):
+    """Every agent starts on the correct opinion (stability check)."""
+
+    name = "all-correct"
+
+    def apply(self, population, protocol, state, rng) -> None:
+        opinions = np.full(population.n, population.correct_opinion, dtype=np.uint8)
+        population.adversarial_opinions(opinions)
+        state.update(protocol.randomize_state(population.n, rng))
+
+
+class BernoulliRandom(Initializer):
+    """Each non-source opinion independently 1 with probability ``p``."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = p
+        self.name = f"bernoulli(p={p})"
+
+    def apply(self, population, protocol, state, rng) -> None:
+        opinions = (rng.random(population.n) < self.p).astype(np.uint8)
+        population.adversarial_opinions(opinions)
+        state.update(protocol.randomize_state(population.n, rng))
+
+
+class ExactFraction(Initializer):
+    """Exactly ``round(x * n)`` agents start with opinion 1, placed at random.
+
+    Used to pin the chain's starting point ``x_0`` precisely, e.g. to start in
+    a chosen grid domain.
+    """
+
+    def __init__(self, x: float) -> None:
+        if not 0.0 <= x <= 1.0:
+            raise ValueError(f"x must be in [0, 1], got {x}")
+        self.x = x
+        self.name = f"fraction(x={x})"
+
+    def apply(self, population, protocol, state, rng) -> None:
+        n = population.n
+        ones = int(round(self.x * n))
+        opinions = np.zeros(n, dtype=np.uint8)
+        chosen = rng.choice(n, size=ones, replace=False)
+        opinions[chosen] = 1
+        population.adversarial_opinions(opinions)
+        state.update(protocol.randomize_state(population.n, rng))
+
+
+class RandomizeProtocolState(Initializer):
+    """Leave opinions untouched; randomize only the internal protocol state."""
+
+    name = "randomize-state"
+
+    def apply(self, population, protocol, state, rng) -> None:
+        state.update(protocol.randomize_state(population.n, rng))

@@ -1,0 +1,25 @@
+"""Protocols: the paper's FET plus all comparison baselines."""
+
+from .clock_sync import ClockSyncProtocol
+from .fet import DEFAULT_SAMPLE_CONSTANT, FETProtocol, ell_for
+from .hysteresis import HysteresisFETProtocol
+from .majority import MajorityProtocol
+from .majority_sampling import MajoritySamplingProtocol
+from .oracle_clock import OracleClockProtocol
+from .simple_trend import SimpleTrendProtocol
+from .undecided import UndecidedStateProtocol
+from .voter import VoterProtocol
+
+__all__ = [
+    "ClockSyncProtocol",
+    "DEFAULT_SAMPLE_CONSTANT",
+    "FETProtocol",
+    "HysteresisFETProtocol",
+    "MajorityProtocol",
+    "MajoritySamplingProtocol",
+    "OracleClockProtocol",
+    "SimpleTrendProtocol",
+    "UndecidedStateProtocol",
+    "VoterProtocol",
+    "ell_for",
+]

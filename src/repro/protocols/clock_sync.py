@@ -1,0 +1,110 @@
+"""Decoupled-message baseline: clock synchronization + two-subphase spread.
+
+Stand-in for the protocols of Boczkowski, Korman & Natale 2019 (3-bit
+messages) and Bastide, Giakkoupis & Saribekyan 2021 (1-bit messages), which
+solve self-stabilizing bit-dissemination by synchronizing clocks and then
+running the two-subphase rule of Section 1.4. Their defining property — the
+one the paper contrasts FET against — is that the *message* an agent reveals
+is decoupled from its opinion: here each agent exposes its clock value in
+addition to its opinion bit, so the protocol is **not** passive
+(``passive = False``) and is disqualified in the paper's model.
+
+Construction (simplified; see DESIGN.md §4 for the substitution rationale):
+
+1. Every agent keeps a clock in ``{0, …, T-1}`` with ``T = 4·⌈log2 n⌉``.
+2. Each round it samples ℓ agents, reads their clocks (the decoupled
+   message), and resets its own clock to the plurality of the sampled clocks
+   (ties to the smallest value), plus one. Plurality-with-increment
+   empirically drives arbitrary initial clocks to agreement in O(log n)
+   rounds when ℓ = Θ(log n).
+3. The opinion is updated with the two-subphase rule driven by the agent's
+   own clock: during the first half-period adopt 0 if any sampled opinion is
+   0; during the second half adopt 1 if any sampled opinion is 1.
+
+Unlike the cited works, the clock-agreement step here is empirical rather
+than proven; the baseline benchmark (E-base) reports its measured success
+rate alongside FET's.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.population import PopulationState
+from ..core.protocol import Protocol, ProtocolState
+from ..core.sampling import Sampler
+
+__all__ = ["ClockSyncProtocol"]
+
+
+class ClockSyncProtocol(Protocol):
+    """Plurality clock sync feeding the two-subphase dissemination rule."""
+
+    passive = False
+
+    def __init__(self, n_hint: int, ell: int) -> None:
+        if n_hint < 2:
+            raise ValueError(f"n_hint must be >= 2, got {n_hint}")
+        if ell < 1:
+            raise ValueError(f"ell must be >= 1, got {ell}")
+        self.ell = ell
+        self.subphase_len = max(1, 2 * math.ceil(math.log2(n_hint)))
+        self.period = 2 * self.subphase_len
+        self.name = f"clock-sync(T={self.period},ell={ell})"
+
+    def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {"clock": np.zeros(n, dtype=np.int64)}
+
+    def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        """Fully adversarial: every agent's clock is arbitrary."""
+        return {"clock": rng.integers(0, self.period, size=n, dtype=np.int64)}
+
+    def step(
+        self,
+        population: PopulationState,
+        state: ProtocolState,
+        sampler: Sampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n = population.n
+        clocks = state["clock"]
+        # Decoupled messages require reading sampled agents' state, so this
+        # protocol materializes indices itself (uniform with replacement),
+        # independent of the engine's count sampler.
+        idx = rng.integers(0, n, size=(n, self.ell))
+
+        sampled_clocks = clocks[idx]  # (n, ell)
+        # Per-agent plurality over period values; ties resolve to the
+        # smallest clock value (argmax returns the first maximum).
+        flat = (np.arange(n)[:, None] * self.period + sampled_clocks).ravel()
+        tallies = np.bincount(flat, minlength=n * self.period).reshape(n, self.period)
+        new_clocks = (tallies.argmax(axis=1) + 1) % self.period
+
+        sampled_opinions = population.opinions[idx]
+        saw_zero = (sampled_opinions == 0).any(axis=1)
+        saw_one = (sampled_opinions == 1).any(axis=1)
+        in_zero_subphase = new_clocks < self.subphase_len
+
+        opinions = population.opinions
+        new = np.where(
+            in_zero_subphase & saw_zero,
+            np.uint8(0),
+            np.where(~in_zero_subphase & saw_one, np.uint8(1), opinions),
+        ).astype(np.uint8)
+
+        state["clock"] = new_clocks
+        return new
+
+    def samples_per_round(self) -> int:
+        return self.ell
+
+    def memory_bits(self) -> float:
+        return math.log2(self.period)
+
+    def clock_agreement(self, state: ProtocolState) -> float:
+        """Fraction of agents holding the plurality clock value (diagnostic)."""
+        clocks = state["clock"]
+        counts = np.bincount(clocks, minlength=self.period)
+        return float(counts.max() / clocks.size)

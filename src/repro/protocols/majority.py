@@ -1,0 +1,47 @@
+"""3-majority dynamics baseline.
+
+Each round, each agent samples three agents uniformly at random and adopts the
+majority opinion among them (Doerr et al. 2011, cited in Section 1.4). Like
+the voter model it is passive, converges quickly to *some* consensus — but the
+consensus tracks the initial majority, not the source's opinion, so it fails
+self-stabilizing bit-dissemination from adversarial starts. A generalized
+``k``-majority (odd ``k``) is provided for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.population import PopulationState
+from ..core.protocol import Protocol, ProtocolState
+from ..core.sampling import Sampler
+
+__all__ = ["MajorityProtocol"]
+
+
+class MajorityProtocol(Protocol):
+    """Adopt the majority among ``k`` uniform samples (odd ``k``, ties impossible)."""
+
+    passive = True
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 1 or k % 2 == 0:
+            raise ValueError(f"k must be odd and >= 1, got {k}")
+        self.k = k
+        self.name = f"{k}-majority"
+
+    def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {}
+
+    def step(
+        self,
+        population: PopulationState,
+        state: ProtocolState,
+        sampler: Sampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        counts = sampler.counts(population, self.k, rng)
+        return (2 * counts > self.k).astype(np.uint8)
+
+    def samples_per_round(self) -> int:
+        return self.k

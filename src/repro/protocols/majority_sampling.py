@@ -1,0 +1,55 @@
+"""Sample-majority baseline: adopt the majority of an ℓ-sample.
+
+The most obvious passive rule with ℓ samples: look at ℓ random agents and
+adopt the majority opinion among them (keep on ties). This amplifies whatever
+majority currently exists — so, started from an adversarial wrong-majority
+configuration, it locks the population into the *wrong* consensus and the
+single pinned source cannot tip it back in sub-polynomial time. It is the
+canonical illustration of why trend-following (comparing across rounds, as FET
+does) rather than level-following (thresholding within a round) is needed for
+self-stabilization. Benchmark E-base quantifies the failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.population import PopulationState
+from ..core.protocol import Protocol, ProtocolState
+from ..core.sampling import Sampler
+
+__all__ = ["MajoritySamplingProtocol"]
+
+
+class MajoritySamplingProtocol(Protocol):
+    """Adopt the majority among ℓ uniform samples; keep opinion on ties."""
+
+    passive = True
+
+    def __init__(self, ell: int) -> None:
+        if ell < 1:
+            raise ValueError(f"ell must be >= 1, got {ell}")
+        self.ell = ell
+        self.name = f"sample-majority(ell={ell})"
+
+    def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {}
+
+    def step(
+        self,
+        population: PopulationState,
+        state: ProtocolState,
+        sampler: Sampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        counts = sampler.counts(population, self.ell, rng)
+        opinions = population.opinions
+        twice = 2 * counts
+        return np.where(
+            twice > self.ell,
+            np.uint8(1),
+            np.where(twice < self.ell, np.uint8(0), opinions),
+        ).astype(np.uint8)
+
+    def samples_per_round(self) -> int:
+        return self.ell

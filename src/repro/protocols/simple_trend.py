@@ -1,0 +1,66 @@
+"""The single-counter trend protocol — the first procedure of Section 1.3.
+
+This is FET *without* the sample split: each round an agent draws one block of
+``ℓ`` samples, compares its count to the count of the previous round, and
+moves with the trend. The same counter is therefore used in two consecutive
+comparisons, making ``Y_t`` and ``Y_{t+1}`` dependent even conditioned on
+``(x_{t-1}, x_t)`` — the feature that, per the paper, "will make the analysis
+difficult" and motivates the FET split.
+
+It is included as an ablation target (E-ablate in DESIGN.md): empirically it
+behaves very similarly to FET, and the ablation benchmark quantifies that.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.population import PopulationState
+from ..core.protocol import Protocol, ProtocolState
+from ..core.sampling import Sampler
+
+__all__ = ["SimpleTrendProtocol"]
+
+
+class SimpleTrendProtocol(Protocol):
+    """Single-counter trend following (ℓ samples per round)."""
+
+    passive = True
+
+    def __init__(self, ell: int) -> None:
+        if ell < 1:
+            raise ValueError(f"ell must be >= 1, got {ell}")
+        self.ell = ell
+        self.name = f"simple-trend(ell={ell})"
+
+    def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {"prev_count": np.zeros(n, dtype=np.int64)}
+
+    def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {"prev_count": rng.integers(0, self.ell + 1, size=n, dtype=np.int64)}
+
+    def step(
+        self,
+        population: PopulationState,
+        state: ProtocolState,
+        sampler: Sampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        count = sampler.counts(population, self.ell, rng)
+        prev = state["prev_count"]
+        opinions = population.opinions
+        new = np.where(
+            count > prev,
+            np.uint8(1),
+            np.where(count < prev, np.uint8(0), opinions),
+        ).astype(np.uint8)
+        state["prev_count"] = count
+        return new
+
+    def samples_per_round(self) -> int:
+        return self.ell
+
+    def memory_bits(self) -> float:
+        return math.log2(self.ell + 1)

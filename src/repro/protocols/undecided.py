@@ -1,0 +1,68 @@
+"""Undecided-State Dynamics (USD) baseline.
+
+Angluin, Aspnes & Eisenstat 2008 (cited in Section 1.4): each agent is either
+*decided* on an opinion or *undecided*. On meeting a decided agent with the
+opposite opinion, a decided agent becomes undecided; an undecided agent adopts
+the first decided opinion it sees.
+
+Passive-communication adaptation: an undecided agent still has to display a
+binary opinion (it cannot display "undecided"), so it keeps showing its last
+decided opinion while internally undecided — this is the natural embedding of
+USD into the paper's passive model, and it is why the internal ``undecided``
+flag counts toward the protocol's memory.
+
+Like the other consensus dynamics, USD converges to the initial
+majority/plurality, not to the source's opinion, so it fails the
+self-stabilizing dissemination task from adversarial starts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.population import PopulationState
+from ..core.protocol import Protocol, ProtocolState
+from ..core.sampling import Sampler
+
+__all__ = ["UndecidedStateProtocol"]
+
+
+class UndecidedStateProtocol(Protocol):
+    """One-sample undecided-state dynamics under passive communication."""
+
+    passive = True
+    name = "undecided-state"
+
+    def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {"undecided": np.zeros(n, dtype=bool)}
+
+    def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {"undecided": rng.integers(0, 2, size=n).astype(bool)}
+
+    def step(
+        self,
+        population: PopulationState,
+        state: ProtocolState,
+        sampler: Sampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        seen = (sampler.counts(population, 1, rng) > 0).astype(np.uint8)
+        opinions = population.opinions
+        undecided = state["undecided"]
+
+        disagree = seen != opinions
+        # Decided agents seeing disagreement become undecided (opinion shown
+        # is unchanged). Undecided agents adopt whatever they see and become
+        # decided. Note every observation is a decided *display* under passive
+        # communication, so an undecided observer always adopts.
+        new_undecided = np.where(undecided, False, disagree)
+        new_opinions = np.where(undecided, seen, opinions).astype(np.uint8)
+
+        state["undecided"] = new_undecided
+        return new_opinions
+
+    def samples_per_round(self) -> int:
+        return 1
+
+    def memory_bits(self) -> float:
+        return 1.0

@@ -1,0 +1,46 @@
+"""Voter model baseline.
+
+Classic opinion dynamics (Liggett 1985, cited in Section 1.4): each round,
+each agent copies the opinion of one uniformly sampled agent. It is passive
+(the revealed information is the opinion) but it is *not* a solution to
+source-driven bit-dissemination: from an adversarial almost-wrong-consensus
+start it typically reaches the *wrong* consensus, and with a pinned source the
+expected escape time back to the correct consensus is polynomial in ``n``, not
+poly-logarithmic. The baseline benchmark (E-base) measures exactly this
+failure mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.population import PopulationState
+from ..core.protocol import Protocol, ProtocolState
+from ..core.sampling import Sampler
+
+__all__ = ["VoterProtocol"]
+
+
+class VoterProtocol(Protocol):
+    """Copy one uniformly random agent's opinion each round."""
+
+    passive = True
+    name = "voter"
+
+    def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
+        return {}
+
+    def step(
+        self,
+        population: PopulationState,
+        state: ProtocolState,
+        sampler: Sampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        # One sample per agent; the sampled opinion is Bernoulli(x) under
+        # uniform-with-replacement sampling, i.e. counts with ell = 1.
+        seen = sampler.counts(population, 1, rng)
+        return (seen > 0).astype(np.uint8)
+
+    def samples_per_round(self) -> int:
+        return 1

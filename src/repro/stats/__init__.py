@@ -1,0 +1,12 @@
+"""Statistics helpers: summaries, confidence intervals, scaling fits."""
+
+from .fitting import LogPowerFit, fit_log_power
+from .summary import TimesSummary, describe_times, wilson_interval
+
+__all__ = [
+    "LogPowerFit",
+    "TimesSummary",
+    "describe_times",
+    "fit_log_power",
+    "wilson_interval",
+]

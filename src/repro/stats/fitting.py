@@ -1,0 +1,61 @@
+"""Scaling-law fits.
+
+Theorem 1 predicts convergence time ``T(n) = O(log^{5/2} n)``. The headline
+benchmark fits the two-parameter model ``T(n) = a · (ln n)^b`` to measured
+medians by ordinary least squares in the doubly-logarithmic coordinates
+``ln T = ln a + b · ln ln n``, and reports the exponent ``b`` with its R².
+The paper's upper bound corresponds to ``b ≤ 2.5``; the measured exponent is
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LogPowerFit", "fit_log_power"]
+
+
+@dataclass(frozen=True)
+class LogPowerFit:
+    """Result of fitting ``T(n) = a · (ln n)^b``."""
+
+    a: float
+    b: float
+    r_squared: float
+
+    def predict(self, n: int | float | np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law at population size(s) ``n``."""
+        n_arr = np.asarray(n, dtype=float)
+        return self.a * np.log(n_arr) ** self.b
+
+
+def fit_log_power(ns: np.ndarray | list[int], times: np.ndarray | list[float]) -> LogPowerFit:
+    """Least-squares fit of ``T = a·(ln n)^b`` over (n, T) observations.
+
+    Requires at least three points, n > e (so ``ln ln n > 0`` is safe for the
+    transform — strictly we only need ``ln n > 0`` and distinct values), and
+    strictly positive times.
+    """
+    ns_arr = np.asarray(ns, dtype=float)
+    t_arr = np.asarray(times, dtype=float)
+    if ns_arr.shape != t_arr.shape:
+        raise ValueError("ns and times must have matching shapes")
+    if ns_arr.size < 3:
+        raise ValueError(f"need at least 3 points to fit, got {ns_arr.size}")
+    if (ns_arr <= math.e).any():
+        raise ValueError("all n must exceed e for the log-log transform")
+    if (t_arr <= 0).any():
+        raise ValueError("all times must be positive")
+    u = np.log(np.log(ns_arr))
+    v = np.log(t_arr)
+    if np.allclose(u, u[0]):
+        raise ValueError("population sizes are too clustered to identify an exponent")
+    b, log_a = np.polyfit(u, v, 1)
+    residuals = v - (log_a + b * u)
+    ss_res = float((residuals**2).sum())
+    ss_tot = float(((v - v.mean()) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LogPowerFit(a=float(math.exp(log_a)), b=float(b), r_squared=r_squared)

@@ -1,0 +1,70 @@
+"""Summary statistics for experiment results.
+
+Finite-trial estimates of the paper's "with high probability" statements use
+Wilson score intervals for success rates; convergence-time distributions are
+reported by mean / median / tail quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["wilson_interval", "describe_times", "TimesSummary"]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because experiment success rates
+    sit near 1 where the normal interval degenerates.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must lie in [0, trials], got {successes}/{trials}")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    half = z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, (centre - half) / denom), min(1.0, (centre + half) / denom))
+
+
+@dataclass(frozen=True)
+class TimesSummary:
+    """Distribution summary of convergence times over successful trials."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    minimum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "max": self.maximum,
+            "min": self.minimum,
+        }
+
+
+def describe_times(times: np.ndarray | list[float]) -> TimesSummary:
+    """Summarize a (possibly empty) vector of convergence times."""
+    arr = np.asarray(times, dtype=float)
+    if arr.size == 0:
+        nan = float("nan")
+        return TimesSummary(count=0, mean=nan, median=nan, p95=nan, maximum=nan, minimum=nan)
+    return TimesSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p95=float(np.quantile(arr, 0.95)),
+        maximum=float(arr.max()),
+        minimum=float(arr.min()),
+    )

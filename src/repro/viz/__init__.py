@@ -1,0 +1,23 @@
+"""Text rendering and CSV emission for figures and tables."""
+
+from .ascii_grid import (
+    DOMAIN_GLYPHS,
+    YELLOW_GLYPHS,
+    render_domain_map,
+    render_trajectory,
+    render_yellow_map,
+)
+from .csv_out import write_domain_grid, write_rows
+from .tables import format_rows, format_table
+
+__all__ = [
+    "DOMAIN_GLYPHS",
+    "YELLOW_GLYPHS",
+    "format_rows",
+    "format_table",
+    "render_domain_map",
+    "render_trajectory",
+    "render_yellow_map",
+    "write_domain_grid",
+    "write_rows",
+]

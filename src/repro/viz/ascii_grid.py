@@ -1,0 +1,113 @@
+"""ASCII rendering of the grid figures.
+
+matplotlib is unavailable in the reproduction environment, so Figures 1a
+and 2 are regenerated as character maps: each cell of a regular grid over the
+unit square is classified and drawn as one letter. The y-axis (``x_{t+1}``)
+increases upward, matching the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.domains import Domain, DomainPartition, YellowArea
+
+__all__ = [
+    "DOMAIN_GLYPHS",
+    "YELLOW_GLYPHS",
+    "render_domain_map",
+    "render_yellow_map",
+    "render_trajectory",
+]
+
+DOMAIN_GLYPHS: dict[Domain, str] = {
+    Domain.GREEN1: "G",
+    Domain.GREEN0: "g",
+    Domain.PURPLE1: "P",
+    Domain.PURPLE0: "p",
+    Domain.RED1: "R",
+    Domain.RED0: "r",
+    Domain.CYAN1: "C",
+    Domain.CYAN0: "c",
+    Domain.YELLOW: "Y",
+    Domain.NONE: ".",
+}
+
+YELLOW_GLYPHS: dict[YellowArea, str] = {
+    YellowArea.A1: "A",
+    YellowArea.B1: "B",
+    YellowArea.C1: "C",
+    YellowArea.A0: "a",
+    YellowArea.B0: "b",
+    YellowArea.C0: "c",
+    YellowArea.OUTSIDE: ".",
+}
+
+
+def _legend(glyphs: dict) -> str:
+    return "legend: " + "  ".join(f"{glyph}={key.value}" for key, glyph in glyphs.items())
+
+
+def render_domain_map(partition: DomainPartition, resolution: int = 61) -> str:
+    """Character map of Figure 1a for the given partition.
+
+    Rows from top (``x_{t+1} = 1``) to bottom (0); columns left
+    (``x_t = 0``) to right (1).
+    """
+    xs, ys, labels = partition.grid_labels(resolution)
+    lines = []
+    for row_index in range(resolution - 1, -1, -1):
+        row = "".join(DOMAIN_GLYPHS[labels[row_index][col]] for col in range(resolution))
+        prefix = f"{ys[row_index]:4.2f} " if row_index % 10 == 0 else "     "
+        lines.append(prefix + row)
+    lines.append("     " + "^".ljust(resolution))
+    lines.append(f"     x_t: 0.0 .. 1.0 over {resolution} columns (n={partition.n}, delta={partition.delta})")
+    lines.append(_legend(DOMAIN_GLYPHS))
+    return "\n".join(lines)
+
+
+def render_yellow_map(partition: DomainPartition, resolution: int = 41) -> str:
+    """Character map of Figure 2: the A/B/C split of the Yellow′ square."""
+    lo = partition.yellow_prime_lo
+    hi = partition.yellow_prime_hi
+    xs = np.linspace(lo, hi, resolution)
+    ys = np.linspace(lo, hi, resolution)
+    lines = []
+    for row_index in range(resolution - 1, -1, -1):
+        y = float(ys[row_index])
+        row = "".join(
+            YELLOW_GLYPHS[partition.classify_yellow_area(float(x), y)] for x in xs
+        )
+        prefix = f"{y:5.3f} " if row_index % 8 == 0 else "      "
+        lines.append(prefix + row)
+    lines.append(f"      x_t: {lo:.3f} .. {hi:.3f} over {resolution} columns")
+    lines.append(_legend(YELLOW_GLYPHS))
+    return "\n".join(lines)
+
+
+def render_trajectory(
+    trajectory: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """Sparkline-style chart of ``x_t`` against round number.
+
+    Downsamples long trajectories to ``width`` columns; the vertical axis is
+    the one-fraction in [0, 1].
+    """
+    xs = np.asarray(trajectory, dtype=float)
+    if xs.size == 0:
+        return "(empty trajectory)"
+    if xs.size > width:
+        idx = np.linspace(0, xs.size - 1, width).round().astype(int)
+        xs = xs[idx]
+    columns = np.clip((xs * (height - 1)).round().astype(int), 0, height - 1)
+    rows = []
+    for level in range(height - 1, -1, -1):
+        marks = "".join("*" if col == level else " " for col in columns)
+        label = f"{level / (height - 1):4.2f} |"
+        rows.append(label + marks)
+    rows.append("     +" + "-" * len(columns))
+    rows.append(f"      rounds 0 .. {trajectory.size - 1} (downsampled to {len(columns)} cols)")
+    return "\n".join(rows)

@@ -1,0 +1,46 @@
+"""CSV emission for figure-regeneration artifacts.
+
+Benchmarks can persist the regenerated figure data (domain grids, sweep
+tables) so downstream plotting tools can draw the paper's figures exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..analysis.domains import DomainPartition
+
+__all__ = ["write_rows", "write_domain_grid"]
+
+
+def write_rows(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write a header + rows CSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def write_domain_grid(
+    path: str | Path,
+    partition: DomainPartition,
+    resolution: int = 101,
+) -> Path:
+    """Persist the Figure 1a classification grid as ``x, y, domain`` rows."""
+    xs, ys, labels = partition.grid_labels(resolution)
+    rows = (
+        (float(xs[col]), float(ys[row]), labels[row][col].value)
+        for row in range(resolution)
+        for col in range(resolution)
+    )
+    return write_rows(path, ("x_t", "x_t1", "domain"), rows)

@@ -1,0 +1,42 @@
+"""Aligned text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_rows"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.3g}" if abs(value) < 1e5 else f"{value:.3e}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render a simple aligned table with a header separator."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Iterable[dict]) -> str:
+    """Render a list of uniform dicts (e.g. ``TrialStats.row()``) as a table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row.get(h) for h in headers] for row in rows])

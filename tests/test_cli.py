@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.n == 5000
+        assert args.seed == 0
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "9", "map"])
+        assert args.seed == 9
+
+    def test_map_options(self):
+        args = build_parser().parse_args(["map", "-n", "500", "--delta", "0.1", "--resolution", "21"])
+        assert args.n == 500
+        assert args.delta == 0.1
+        assert args.resolution == 21
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "-n", "500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged=True" in out
+        assert "FET" in out
+
+    def test_map_runs(self, capsys):
+        code = main(["map", "-n", "1000", "--resolution", "21"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legend:" in out
+
+    def test_compare_runs(self, capsys):
+        code = main(["compare", "-n", "400", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FET" in out
+        assert "voter" in out
+
+    def test_scale_runs(self, capsys):
+        code = main(["--seed", "3", "scale", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fit T(n)" in out
+
+    def test_demo_seed_reproducible(self, capsys):
+        main(["--seed", "5", "demo", "-n", "400"])
+        first = capsys.readouterr().out
+        main(["--seed", "5", "demo", "-n", "400"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,120 @@
+"""Tests for the oracle-clock and clock-sync protocols."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_protocol
+from repro.core.population import make_population
+from repro.core.rng import make_rng
+from repro.initializers.standard import AllWrong, BernoulliRandom
+from repro.protocols.clock_sync import ClockSyncProtocol
+from repro.protocols.fet import ell_for
+from repro.protocols.oracle_clock import OracleClockProtocol
+
+
+class TestOracleClockConstruction:
+    def test_period_is_four_log(self):
+        proto = OracleClockProtocol(1024)
+        assert proto.subphase_len == 2 * 10
+        assert proto.period == 4 * 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            OracleClockProtocol(1)
+        with pytest.raises(ValueError):
+            OracleClockProtocol(100, ell=0)
+
+    def test_is_passive(self):
+        assert OracleClockProtocol(100).passive is True
+
+    def test_memory_is_clock_width(self):
+        proto = OracleClockProtocol(1024)
+        assert proto.memory_bits() == pytest.approx(math.log2(proto.period))
+
+
+class TestOracleClockBehaviour:
+    @pytest.mark.parametrize("correct", [0, 1])
+    def test_converges_fast(self, correct):
+        n = 2000
+        proto = OracleClockProtocol(n, ell=1)
+        pop = make_population(n, correct)
+        rng = make_rng(correct)
+        state = proto.init_state(n, rng)
+        AllWrong()(pop, proto, state, rng)
+        result = run_protocol(proto, pop, 10 * proto.period, rng=rng, state=state)
+        assert result.converged
+        # Two phases always suffice from a clean clock.
+        assert result.rounds <= 2 * proto.period
+
+    def test_random_clock_offset_tolerated(self):
+        n = 1000
+        proto = OracleClockProtocol(n, ell=1)
+        pop = make_population(n, 1)
+        rng = make_rng(9)
+        state = proto.randomize_state(n, rng)
+        AllWrong()(pop, proto, state, rng)
+        result = run_protocol(proto, pop, 10 * proto.period, rng=rng, state=state)
+        assert result.converged
+
+    def test_clock_advances(self):
+        proto = OracleClockProtocol(64, ell=1)
+        pop = make_population(16, 1)
+        rng = make_rng(0)
+        state = proto.init_state(16, rng)
+        from repro.core.sampling import BinomialCountSampler
+
+        proto.step(pop, state, BinomialCountSampler(), rng)
+        proto.step(pop, state, BinomialCountSampler(), rng)
+        assert int(state["clock"][0]) == 2
+
+
+class TestClockSync:
+    def test_not_passive(self):
+        assert ClockSyncProtocol(100, 8).passive is False
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ClockSyncProtocol(1, 8)
+        with pytest.raises(ValueError):
+            ClockSyncProtocol(100, 0)
+
+    def test_randomize_state_spreads_clocks(self):
+        proto = ClockSyncProtocol(256, 8)
+        state = proto.randomize_state(2000, make_rng(0))
+        assert len(np.unique(state["clock"])) > proto.period // 2
+
+    def test_clock_agreement_diagnostic(self):
+        proto = ClockSyncProtocol(256, 8)
+        state = {"clock": np.zeros(100, dtype=np.int64)}
+        assert proto.clock_agreement(state) == 1.0
+        state["clock"][:50] = 1
+        assert proto.clock_agreement(state) == 0.5
+
+    def test_clocks_synchronize_from_adversarial_start(self):
+        n = 1000
+        proto = ClockSyncProtocol(n, ell_for(n))
+        pop = make_population(n, 1)
+        rng = make_rng(3)
+        state = proto.randomize_state(n, rng)
+        from repro.core.sampling import BinomialCountSampler
+
+        sampler = BinomialCountSampler()
+        for _ in range(5 * proto.period):
+            new = proto.step(pop, state, sampler, rng)
+            pop.set_opinions(new)
+        assert proto.clock_agreement(state) > 0.99
+
+    def test_converges_from_adversarial_start(self):
+        n = 1000
+        proto = ClockSyncProtocol(n, ell_for(n))
+        pop = make_population(n, 1)
+        rng = make_rng(4)
+        state = proto.randomize_state(n, rng)
+        BernoulliRandom(0.5)(pop, proto, state, rng)
+        # BernoulliRandom re-randomizes internal state; that is fine here.
+        result = run_protocol(proto, pop, 40 * proto.period, rng=rng, state=state)
+        assert result.converged

@@ -1,0 +1,176 @@
+"""Tests for the exact coin-competition probabilities and the paper's bounds."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.coins import (
+    LEMMA12_ALPHA,
+    berry_esseen_underdog_bound,
+    binomial_pmf,
+    compare_binomials,
+    compare_grid,
+    exact_expected_abs_difference,
+    expected_abs_difference_bound,
+    hoeffding_favorite_bound,
+    lemma12_upper_bound,
+    lemma14_lower_bound,
+)
+
+
+def brute_force_compare(k: int, p: float, q: float) -> tuple[float, float, float]:
+    """O(k²) direct enumeration for cross-checking the convolution."""
+    pmf_p = [math.comb(k, i) * p**i * (1 - p) ** (k - i) for i in range(k + 1)]
+    pmf_q = [math.comb(k, j) * q**j * (1 - q) ** (k - j) for j in range(k + 1)]
+    gt = sum(pmf_p[i] * pmf_q[j] for i in range(k + 1) for j in range(k + 1) if i > j)
+    eq = sum(pmf_p[i] * pmf_q[i] for i in range(k + 1))
+    return gt, eq, 1 - gt - eq
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        assert binomial_pmf(12, 0.37).sum() == pytest.approx(1.0)
+
+    def test_degenerate_p(self):
+        assert binomial_pmf(5, 0.0)[0] == pytest.approx(1.0)
+        assert binomial_pmf(5, 1.0)[5] == pytest.approx(1.0)
+
+    def test_vector_p(self):
+        out = binomial_pmf(6, np.array([0.2, 0.8]))
+        assert out.shape == (2, 7)
+        assert out.sum(axis=1) == pytest.approx([1.0, 1.0])
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(-1, 0.5)
+
+
+class TestCompareBinomials:
+    @pytest.mark.parametrize(
+        "k,p,q", list(itertools.product([1, 3, 8], [0.1, 0.5], [0.3, 0.9]))
+    )
+    def test_matches_brute_force(self, k, p, q):
+        exact = compare_binomials(k, p, q)
+        gt, eq, lt = brute_force_compare(k, p, q)
+        assert exact.p_first_wins == pytest.approx(gt, abs=1e-12)
+        assert exact.p_tie == pytest.approx(eq, abs=1e-12)
+        assert exact.p_second_wins == pytest.approx(lt, abs=1e-12)
+
+    def test_probabilities_sum_to_one(self):
+        cmp_ = compare_binomials(25, 0.4, 0.6)
+        assert cmp_.total == pytest.approx(1.0)
+
+    def test_symmetry_under_swap(self):
+        a = compare_binomials(20, 0.3, 0.7)
+        b = compare_binomials(20, 0.7, 0.3)
+        assert a.p_first_wins == pytest.approx(b.p_second_wins)
+        assert a.p_tie == pytest.approx(b.p_tie)
+
+    def test_equal_coins_symmetric(self):
+        cmp_ = compare_binomials(30, 0.5, 0.5)
+        assert cmp_.p_first_wins == pytest.approx(cmp_.p_second_wins)
+
+    def test_favorite_usually_wins(self):
+        cmp_ = compare_binomials(100, 0.3, 0.7)
+        assert cmp_.p_second_wins > 0.99
+
+    def test_k_zero(self):
+        cmp_ = compare_binomials(0, 0.3, 0.7)
+        assert cmp_.p_tie == pytest.approx(1.0)
+
+
+class TestCompareGrid:
+    def test_matches_scalar(self):
+        ps = np.array([0.2, 0.5, 0.8])
+        qs = np.array([0.1, 0.6])
+        gt, eq = compare_grid(10, ps, qs)
+        for i, p in enumerate(ps):
+            for j, q in enumerate(qs):
+                scalar = compare_binomials(10, p, q)
+                assert gt[i, j] == pytest.approx(scalar.p_first_wins, abs=1e-12)
+                assert eq[i, j] == pytest.approx(scalar.p_tie, abs=1e-12)
+
+    def test_shapes(self):
+        gt, eq = compare_grid(5, np.linspace(0, 1, 7), np.linspace(0, 1, 4))
+        assert gt.shape == (7, 4)
+        assert eq.shape == (7, 4)
+
+
+class TestLemma13Hoeffding:
+    @pytest.mark.parametrize("k", [10, 50, 200])
+    @pytest.mark.parametrize("gap", [0.1, 0.3])
+    def test_bound_holds(self, k, gap):
+        p, q = 0.4, 0.4 + gap
+        exact = compare_binomials(k, p, q).p_second_wins  # P(B(p) < B(q))
+        assert exact >= hoeffding_favorite_bound(k, p, q) - 1e-12
+
+    def test_requires_ordering(self):
+        with pytest.raises(ValueError):
+            hoeffding_favorite_bound(10, 0.6, 0.4)
+
+
+class TestLemma15BerryEsseen:
+    @pytest.mark.parametrize("k", [20, 100, 400])
+    def test_bound_holds(self, k):
+        p, q = 0.45, 0.55
+        exact = compare_binomials(k, p, q).p_first_wins  # underdog p wins
+        bound = berry_esseen_underdog_bound(k, p, q)
+        assert exact >= bound - 1e-12
+
+    def test_bound_can_be_vacuous_but_valid(self):
+        # Large gap: the bound may go negative; the exact value still exceeds it.
+        exact = compare_binomials(50, 0.1, 0.9).p_first_wins
+        assert exact >= berry_esseen_underdog_bound(50, 0.1, 0.9)
+
+    def test_requires_ordering(self):
+        with pytest.raises(ValueError):
+            berry_esseen_underdog_bound(10, 0.6, 0.4)
+
+
+class TestLemma12:
+    @pytest.mark.parametrize("k", [16, 64, 256])
+    def test_upper_bound_holds(self, k):
+        p = 0.45
+        for frac in (0.25, 0.5, 1.0):
+            q = p + frac / math.sqrt(k)
+            if q > 2 / 3:
+                continue
+            exact = compare_binomials(k, p, q).p_second_wins  # P(B(p) < B(q))
+            assert exact < lemma12_upper_bound(k, p, q) + 1e-12
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            lemma12_upper_bound(16, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            lemma12_upper_bound(16, 0.4, 0.66)  # gap 0.26 > 1/sqrt(16)
+
+    def test_alpha_constant_positive(self):
+        assert LEMMA12_ALPHA > 1
+
+
+class TestLemma14:
+    @pytest.mark.parametrize("lam", [2.0, 6.0])
+    def test_lower_bound_holds_for_large_k(self, lam):
+        """Lemma 14 guarantees the bound for k large and p, q near 1/2."""
+        k = 4000
+        p, q = 0.499, 0.501
+        exact = compare_binomials(k, p, q).p_second_wins  # P(B(p) < B(q))
+        assert exact > lemma14_lower_bound(k, p, q, lam)
+
+    def test_requires_ordering(self):
+        with pytest.raises(ValueError):
+            lemma14_lower_bound(10, 0.6, 0.4, 2.0)
+
+
+class TestClaim10:
+    @pytest.mark.parametrize("k,p,q", [(10, 0.3, 0.5), (50, 0.45, 0.55), (100, 0.4, 0.41)])
+    def test_expected_abs_difference_bound(self, k, p, q):
+        exact = exact_expected_abs_difference(k, p, q)
+        assert exact <= expected_abs_difference_bound(k, p, q) + 1e-12
+
+    def test_exact_value_nonnegative(self):
+        assert exact_expected_abs_difference(10, 0.2, 0.8) > 0

@@ -1,0 +1,218 @@
+"""Tests for the Figure 1a / Figure 2 domain partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.domains import DEFAULT_DELTA, Domain, DomainPartition, YellowArea
+
+
+@pytest.fixture
+def part():
+    return DomainPartition(n=1000, delta=0.05)
+
+
+class TestConstruction:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            DomainPartition(n=100, delta=0.5)
+        with pytest.raises(ValueError):
+            DomainPartition(n=100, delta=0.0)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            DomainPartition(n=2)
+
+    def test_thresholds(self, part):
+        assert part.inv_log_n == pytest.approx(1 / np.log(1000))
+        assert part.lambda_n == pytest.approx(1 / np.log(1000) ** 0.55)
+
+    def test_default_delta(self):
+        assert DomainPartition(n=100).delta == DEFAULT_DELTA
+
+
+class TestSide1Membership:
+    def test_green1(self, part):
+        assert part.classify(0.3, 0.5) is Domain.GREEN1
+
+    def test_green0(self, part):
+        assert part.classify(0.5, 0.3) is Domain.GREEN0
+
+    def test_yellow_center(self, part):
+        assert part.classify(0.5, 0.5) is Domain.YELLOW
+
+    def test_yellow_offset(self, part):
+        assert part.classify(0.52, 0.55) is Domain.YELLOW
+
+    def test_cyan1_near_zero(self, part):
+        assert part.classify(0.01, 0.02) is Domain.CYAN1
+
+    def test_cyan0_near_one(self, part):
+        assert part.classify(0.99, 0.98) is Domain.CYAN0
+
+    def test_purple1(self, part):
+        # x in [1/log n, 1/2 - 3delta), y inside ((1 - lambda)x, x + delta).
+        assert part.classify(0.3, 0.28) is Domain.PURPLE1
+
+    def test_red1_needs_large_n(self):
+        """Red1 is non-empty only once λ_n·x < δ — around n ≈ 10⁶ for δ=0.05.
+
+        At n = 1000 the paper's λ_n ≈ 0.35 makes Red1 empty (a finite-size
+        artifact of the asymptotic partition, documented in EXPERIMENTS.md).
+        """
+        big = DomainPartition(n=10**6, delta=0.05)
+        assert big.classify(0.105, 0.075) is Domain.RED1
+
+    def test_red1_empty_at_moderate_n(self, part):
+        xs = np.linspace(0.0, 1.0, 101)
+        labels = {
+            part.classify(float(x), float(y)) for x in xs for y in xs
+        }
+        assert Domain.RED1 not in labels
+
+    def test_purple0_red0_by_symmetry(self):
+        big = DomainPartition(n=10**6, delta=0.05)
+        assert big.classify(1 - 0.3, 1 - 0.28) is Domain.PURPLE0
+        assert big.classify(1 - 0.105, 1 - 0.075) is Domain.RED0
+
+    def test_interior_fully_covered(self, part):
+        """Away from boundary lines the partition covers the whole square.
+
+        (The only NONE points found numerically sit within float epsilon of
+        the y = x ± δ frontier; random points avoid them almost surely.)
+        """
+        rng = np.random.default_rng(123)
+        for _ in range(1000):
+            x, y = rng.random(2)
+            assert part.classify(float(x), float(y)) is not Domain.NONE
+
+    def test_out_of_square_rejected(self, part):
+        with pytest.raises(ValueError):
+            part.classify(1.2, 0.5)
+
+
+class TestSymmetry:
+    def test_point_reflection_swaps_sides(self, part):
+        rng = np.random.default_rng(0)
+        swap = {
+            Domain.GREEN1: Domain.GREEN0,
+            Domain.GREEN0: Domain.GREEN1,
+            Domain.PURPLE1: Domain.PURPLE0,
+            Domain.PURPLE0: Domain.PURPLE1,
+            Domain.RED1: Domain.RED0,
+            Domain.RED0: Domain.RED1,
+            Domain.CYAN1: Domain.CYAN0,
+            Domain.CYAN0: Domain.CYAN1,
+            Domain.YELLOW: Domain.YELLOW,
+            Domain.NONE: Domain.NONE,
+        }
+        for _ in range(500):
+            x, y = rng.random(2)
+            a = part.classify(float(x), float(y))
+            b = part.classify(float(1 - x), float(1 - y))
+            assert swap[a] is b
+
+
+class TestFamilies:
+    def test_family_names(self):
+        assert Domain.GREEN1.family == "Green"
+        assert Domain.CYAN0.family == "Cyan"
+        assert Domain.YELLOW.family == "Yellow"
+        assert Domain.NONE.family == "None"
+
+    def test_classify_pairs(self, part):
+        pairs = np.array([[0.3, 0.5], [0.5, 0.5]])
+        labels = part.classify_pairs(pairs)
+        assert labels == [Domain.GREEN1, Domain.YELLOW]
+
+
+class TestDomainGeometry:
+    """Structural facts the proof relies on."""
+
+    def test_green_has_high_speed(self, part):
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            x, y = rng.random(2)
+            if part.classify(float(x), float(y)) in (Domain.GREEN1, Domain.GREEN0):
+                assert part.speed(float(x), float(y)) >= part.delta
+
+    def test_yellow_has_low_speed(self, part):
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            x, y = rng.random(2)
+            if part.classify(float(x), float(y)) is Domain.YELLOW:
+                assert part.speed(float(x), float(y)) < part.delta
+
+    def test_cyan_is_near_a_wrong_consensus(self, part):
+        rng = np.random.default_rng(3)
+        for _ in range(300):
+            x, y = rng.random(2)
+            if part.classify(float(x), float(y)) is Domain.CYAN1:
+                assert min(x, y) < part.inv_log_n
+
+    def test_red1_contracts(self, part):
+        """In Red1 the fraction decays by the (1 - lambda) factor."""
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            x, y = rng.random(2)
+            if part.classify(float(x), float(y)) is Domain.RED1:
+                assert y < (1 - part.lambda_n) * x
+
+
+class TestYellowPrime:
+    def test_square_bounds(self, part):
+        assert part.yellow_prime_lo == pytest.approx(0.3)
+        assert part.yellow_prime_hi == pytest.approx(0.7)
+
+    def test_yellow_subset_of_yellow_prime(self, part):
+        rng = np.random.default_rng(5)
+        for _ in range(500):
+            x, y = rng.random(2)
+            if part.classify(float(x), float(y)) is Domain.YELLOW:
+                assert part.in_yellow_prime(float(x), float(y))
+
+    def test_outside_label(self, part):
+        assert part.classify_yellow_area(0.1, 0.1) is YellowArea.OUTSIDE
+
+    def test_a1_membership(self, part):
+        assert part.classify_yellow_area(0.5, 0.6) is YellowArea.A1
+
+    def test_b1_membership(self, part):
+        # y >= x, slow climb: y - x < x - 1/2.
+        assert part.classify_yellow_area(0.6, 0.62) is YellowArea.B1
+
+    def test_c1_membership(self, part):
+        assert part.classify_yellow_area(0.4, 0.45) is YellowArea.C1
+
+    def test_side0_by_symmetry(self, part):
+        assert part.classify_yellow_area(0.5, 0.4) is YellowArea.A0
+        assert part.classify_yellow_area(0.4, 0.38) is YellowArea.B0
+        assert part.classify_yellow_area(0.6, 0.55) is YellowArea.C0
+
+    def test_full_coverage(self, part):
+        """Every point of Yellow' belongs to one of the six areas."""
+        grid = np.linspace(part.yellow_prime_lo, part.yellow_prime_hi, 60)
+        for x in grid:
+            for y in grid:
+                area = part.classify_yellow_area(float(x), float(y))
+                assert area is not YellowArea.OUTSIDE
+
+    def test_family_names(self):
+        assert YellowArea.A1.family == "A"
+        assert YellowArea.OUTSIDE.family == "outside"
+
+
+class TestGridLabels:
+    def test_shapes(self, part):
+        xs, ys, labels = part.grid_labels(21)
+        assert xs.shape == (21,)
+        assert len(labels) == 21
+        assert len(labels[0]) == 21
+
+    def test_corner_labels(self, part):
+        xs, ys, labels = part.grid_labels(11)
+        assert labels[10][0] is Domain.GREEN1  # (x=0, y=1)
+        assert labels[0][10] is Domain.GREEN0  # (x=1, y=0)
+        assert labels[0][0] is Domain.CYAN1  # (0, 0)
+        assert labels[10][10] is Domain.CYAN0  # (1, 1)

@@ -1,0 +1,159 @@
+"""Tests for the drift function g (Eq. 7), its fixed points and amplification."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.coins import compare_binomials
+from repro.analysis.drift import (
+    amplification_factor,
+    drift_g,
+    drift_grid,
+    expected_next_pair,
+    fixed_point_f,
+)
+from repro.analysis.theory import amplification_lower_bound
+
+
+class TestDriftG:
+    def test_matches_equation_seven(self):
+        """g must equal the three-term expression of Eq. (7) verbatim."""
+        ell, n = 20, 500
+        x, y = 0.35, 0.45
+        cmp_ = compare_binomials(ell, y, x)
+        expected = (
+            cmp_.p_first_wins
+            + y * cmp_.p_tie
+            + (1 - (cmp_.p_first_wins + cmp_.p_tie)) / n
+        )
+        assert drift_g(x, y, ell, n) == pytest.approx(expected, abs=1e-14)
+
+    def test_range(self):
+        for x in (0.0, 0.3, 0.7, 1.0):
+            for y in (0.0, 0.5, 1.0):
+                value = drift_g(x, y, 30, 100)
+                assert 0.0 <= value <= 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            drift_g(1.5, 0.5, 10, 100)
+
+    def test_all_ones_is_fixed(self):
+        """At (1, 1) the comparison always ties, so g = 1: absorbing."""
+        assert drift_g(1.0, 1.0, 25, 400) == pytest.approx(1.0)
+
+    def test_all_zeros_is_formally_fixed(self):
+        """At (0, 0) every comparison ties and keeps 0, so g = 0.
+
+        (The real chain never visits x = 0: the pinned source keeps
+        x ≥ 1/n; see the next test for the physical boundary.)
+        """
+        assert drift_g(0.0, 0.0, 25, 400) == pytest.approx(0.0)
+
+    def test_wrong_consensus_bounces_up(self):
+        """At (1/n, 1/n) — the actual all-wrong state — drift is upward."""
+        n = 400
+        assert drift_g(1 / n, 1 / n, 25, n) > 1 / n
+
+    def test_rising_trend_pushes_up(self):
+        """A clear upward trend (y >> x) drives the expectation near 1."""
+        assert drift_g(0.3, 0.6, 60, 1000) > 0.95
+
+    def test_falling_trend_pushes_down(self):
+        assert drift_g(0.6, 0.3, 60, 1000) < 0.05
+
+    def test_center_nearly_neutral(self):
+        value = drift_g(0.5, 0.5, 60, 10_000)
+        assert value == pytest.approx(0.5, abs=0.01)
+
+
+class TestDriftGrid:
+    def test_matches_scalar(self):
+        xs = np.array([0.2, 0.5, 0.8])
+        ys = np.array([0.3, 0.6])
+        grid = drift_grid(xs, ys, 15, 300)
+        for i, y in enumerate(ys):
+            for j, x in enumerate(xs):
+                assert grid[i, j] == pytest.approx(drift_g(x, y, 15, 300), abs=1e-12)
+
+    def test_shape(self):
+        grid = drift_grid(np.linspace(0, 1, 9), np.linspace(0, 1, 5), 10, 100)
+        assert grid.shape == (5, 9)
+
+    def test_values_in_unit_interval(self):
+        grid = drift_grid(np.linspace(0, 1, 21), np.linspace(0, 1, 21), 12, 200)
+        assert grid.min() >= 0.0 and grid.max() <= 1.0
+
+
+class TestClaim1Monotonicity:
+    """Claim 1: y -> g(x, y) - y is strictly increasing on [x, x + 1/sqrt(l)]."""
+
+    @pytest.mark.parametrize("x", [0.35, 0.45, 0.55, 0.6])
+    def test_h_increasing(self, x):
+        ell, n = 400, 100_000
+        ys = np.linspace(x, x + 1 / math.sqrt(ell), 25)
+        h = np.array([drift_g(x, float(y), ell, n) - y for y in ys])
+        assert (np.diff(h) > 0).all()
+
+
+class TestFixedPointF:
+    def test_in_interval(self):
+        ell, n = 100, 10_000
+        for x in (0.51, 0.55, 0.6):
+            f = fixed_point_f(x, ell, n)
+            assert x <= f <= x + 1 / math.sqrt(ell) + 1e-9
+
+    def test_is_fixed_point_when_interior(self):
+        ell, n = 100, 10_000
+        x = 0.52
+        f = fixed_point_f(x, ell, n)
+        if f < x + 1 / math.sqrt(ell) - 1e-9:  # interior solution
+            assert drift_g(x, f, ell, n) == pytest.approx(f, abs=1e-8)
+
+    def test_claim2_g_below_at_endpoint_when_no_solution(self):
+        """When f(x) = x + 1/sqrt(l), Claim 2 says g stays below the diagonal."""
+        ell, n = 100, 10_000
+        for x in (0.51, 0.55, 0.6):
+            f = fixed_point_f(x, ell, n)
+            assert drift_g(x, f, ell, n) <= f + 1e-8
+
+
+class TestClaim3Amplification:
+    """Eq. (9): the fixed-point map amplifies distance from 1/2."""
+
+    @pytest.mark.parametrize("x", [0.51, 0.55, 0.6, 0.68])
+    def test_amplification_exceeds_paper_bound(self, x):
+        ell, n = 100, 100_000
+        measured = amplification_factor(x, ell, n)
+        assert measured > amplification_lower_bound(ell)
+
+    def test_amplification_above_one(self):
+        assert amplification_factor(0.55, 64, 10_000) > 1.0
+
+    def test_rejects_left_half(self):
+        with pytest.raises(ValueError):
+            amplification_factor(0.4, 64, 10_000)
+
+
+class TestExpectedNextPair:
+    def test_shifts_window(self):
+        nxt = expected_next_pair(0.3, 0.4, 30, 1000)
+        assert nxt[0] == 0.4
+        assert nxt[1] == pytest.approx(drift_g(0.3, 0.4, 30, 1000))
+
+    def test_mean_field_orbit_reaches_consensus(self):
+        """Iterating the mean-field map from an upward trend hits x ≈ 1.
+
+        Only the peak is asserted: the deterministic skeleton is repelled
+        from the absorbing edge once floating error nudges it off exactly
+        (1, 1) — in the discrete chain the state pins to (1, 1) instead.
+        """
+        x, y = 0.2, 0.3
+        peak = y
+        for _ in range(10):
+            x, y = expected_next_pair(x, y, 60, 100_000)
+            peak = max(peak, y)
+        assert peak > 0.999

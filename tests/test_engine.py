@@ -1,0 +1,171 @@
+"""Tests for the synchronous round engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SynchronousEngine, run_protocol
+from repro.core.population import make_population
+from repro.core.protocol import Protocol
+from repro.core.rng import make_rng
+from repro.protocols.fet import FETProtocol
+
+
+class ConstantProtocol(Protocol):
+    """Sets every opinion to a constant — a minimal test protocol."""
+
+    name = "constant"
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def init_state(self, n, rng):
+        return {}
+
+    def step(self, population, state, sampler, rng):
+        return np.full(population.n, self.value, dtype=np.uint8)
+
+
+class FlipFlopProtocol(Protocol):
+    """Alternates all opinions every round — never converges."""
+
+    name = "flipflop"
+
+    def init_state(self, n, rng):
+        return {}
+
+    def step(self, population, state, sampler, rng):
+        return (1 - population.opinions).astype(np.uint8)
+
+
+class TestEngineBasics:
+    def test_step_counts_rounds(self):
+        pop = make_population(10, 1)
+        engine = SynchronousEngine(ConstantProtocol(1), pop, rng=0)
+        engine.step()
+        engine.step()
+        assert engine.round_index == 2
+
+    def test_step_record_fields(self):
+        pop = make_population(10, 1)
+        engine = SynchronousEngine(ConstantProtocol(1), pop, rng=0)
+        record = engine.step()
+        assert record.round_index == 0
+        assert record.x_before == pytest.approx(0.1)
+        assert record.x_after == pytest.approx(1.0)
+        assert record.flips == 9
+
+    def test_source_pinned_by_engine(self):
+        pop = make_population(10, 1)
+        engine = SynchronousEngine(ConstantProtocol(0), pop, rng=0)
+        engine.step()
+        assert pop.opinions[0] == 1  # source re-pinned after each step
+
+    def test_engine_pins_at_construction(self):
+        pop = make_population(10, 1)
+        pop.opinions[0] = 0  # sloppy caller corrupts the source
+        SynchronousEngine(ConstantProtocol(0), pop, rng=0)
+        assert pop.opinions[0] == 1
+
+
+class TestRun:
+    def test_converges_with_constant_correct(self):
+        pop = make_population(10, 1)
+        result = run_protocol(ConstantProtocol(1), pop, 50, rng=0)
+        assert result.converged
+        assert result.rounds == 1  # first all-correct round
+
+    def test_never_converges_with_wrong_constant(self):
+        pop = make_population(10, 1)
+        result = run_protocol(ConstantProtocol(0), pop, 20, rng=0)
+        assert not result.converged
+        assert result.rounds == 20
+
+    def test_flipflop_never_converges(self):
+        pop = make_population(10, 1)
+        result = run_protocol(FlipFlopProtocol(), pop, 30, rng=0)
+        assert not result.converged
+
+    def test_trajectory_includes_initial(self):
+        pop = make_population(10, 1)
+        result = run_protocol(ConstantProtocol(1), pop, 50, rng=0)
+        assert result.trajectory[0] == pytest.approx(0.1)
+        assert result.trajectory[-1] == pytest.approx(1.0)
+
+    def test_stability_window_respected(self):
+        pop = make_population(10, 1)
+        result = run_protocol(ConstantProtocol(1), pop, 50, rng=0, stability_rounds=4)
+        assert result.converged
+        # Convergence time reported is still the first all-correct round.
+        assert result.rounds == 1
+        # Engine had to actually observe 4 consecutive all-correct rounds.
+        assert len(result.trajectory) >= 4
+
+    def test_already_converged_start(self):
+        pop = make_population(10, 1)
+        pop.set_opinions(np.ones(10, dtype=np.uint8))
+        result = run_protocol(ConstantProtocol(1), pop, 50, rng=0)
+        assert result.converged
+        assert result.rounds == 0
+
+    def test_zero_max_rounds(self):
+        pop = make_population(10, 1)
+        result = run_protocol(ConstantProtocol(1), pop, 0, rng=0, stability_rounds=1)
+        assert not result.converged  # no stability evidence gathered
+
+    def test_negative_max_rounds_rejected(self):
+        pop = make_population(10, 1)
+        engine = SynchronousEngine(ConstantProtocol(1), pop, rng=0)
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+    def test_record_flips(self):
+        pop = make_population(10, 1)
+        result = run_protocol(ConstantProtocol(1), pop, 50, rng=0, record_flips=True)
+        assert result.flips.size >= 1
+        assert result.flips[0] == 9
+
+    def test_custom_stop_condition(self):
+        pop = make_population(10, 1)
+        engine = SynchronousEngine(FlipFlopProtocol(), pop, rng=0)
+        result = engine.run(
+            30,
+            stability_rounds=1,
+            stop_condition=lambda p: p.fraction_ones() > 0.5,
+        )
+        assert result.converged
+        assert result.rounds == 1  # first flip sends everyone (but source) to 1
+
+
+class TestEngineWithFET:
+    def test_reproducible_with_seed(self):
+        def run_once():
+            pop = make_population(300, 1)
+            proto = FETProtocol(20)
+            rng = make_rng(99)
+            state = proto.init_state(300, rng)
+            return run_protocol(proto, pop, 500, rng=rng, state=state)
+
+        r1, r2 = run_once(), run_once()
+        assert r1.rounds == r2.rounds
+        assert np.array_equal(r1.trajectory, r2.trajectory)
+
+    def test_fet_absorbing_after_two_correct_rounds(self):
+        """Two all-correct rounds are provably absorbing for FET."""
+        n = 200
+        pop = make_population(n, 1)
+        pop.set_opinions(np.ones(n, dtype=np.uint8))
+        proto = FETProtocol(10)
+        state = {"prev_count": np.full(n, 10, dtype=np.int64)}  # as after an all-1 round
+        result = run_protocol(proto, pop, 50, rng=0, state=state)
+        assert result.converged
+        assert (result.trajectory == 1.0).all()
+
+    def test_pairs_shape(self):
+        pop = make_population(100, 1)
+        proto = FETProtocol(10)
+        result = run_protocol(proto, pop, 100, rng=1)
+        pairs = result.pairs()
+        assert pairs.shape == (result.trajectory.size - 1, 2)
+        assert np.array_equal(pairs[:, 0], result.trajectory[:-1])

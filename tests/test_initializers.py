@@ -1,0 +1,196 @@
+"""Tests for standard and adversarial initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_protocol
+from repro.core.population import make_majority_population, make_population
+from repro.core.rng import make_rng
+from repro.initializers.adversarial import (
+    FrozenUnanimity,
+    PoisonedCounters,
+    TwoRoundTarget,
+    ZeroSpeedCenter,
+)
+from repro.initializers.standard import (
+    AllCorrect,
+    AllWrong,
+    BernoulliRandom,
+    ExactFraction,
+    RandomizeProtocolState,
+)
+from repro.protocols.fet import FETProtocol
+
+
+def fresh(n=100, ell=10, correct=1):
+    proto = FETProtocol(ell)
+    pop = make_population(n, correct)
+    rng = make_rng(0)
+    state = proto.init_state(n, rng)
+    return proto, pop, state, rng
+
+
+class TestAllWrong:
+    def test_nonsources_wrong(self):
+        proto, pop, state, rng = fresh()
+        AllWrong()(pop, proto, state, rng)
+        assert (pop.opinions[~pop.source_mask] == 0).all()
+        assert pop.opinions[pop.source_mask].tolist() == [1]
+
+    def test_respects_correct_zero(self):
+        proto, pop, state, rng = fresh(correct=0)
+        AllWrong()(pop, proto, state, rng)
+        assert (pop.opinions[~pop.source_mask] == 1).all()
+
+    def test_randomizes_internal_state(self):
+        proto, pop, state, rng = fresh(ell=20)
+        AllWrong()(pop, proto, state, rng)
+        assert len(np.unique(state["prev_count"])) > 1
+
+
+class TestAllCorrect:
+    def test_everyone_correct(self):
+        proto, pop, state, rng = fresh()
+        AllCorrect()(pop, proto, state, rng)
+        assert pop.at_correct_consensus()
+
+
+class TestBernoulliRandom:
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            BernoulliRandom(1.5)
+
+    def test_fraction_near_p(self):
+        proto, pop, state, rng = fresh(n=4000)
+        BernoulliRandom(0.3)(pop, proto, state, rng)
+        assert pop.fraction_ones() == pytest.approx(0.3, abs=0.05)
+
+    def test_name_contains_p(self):
+        assert "0.3" in BernoulliRandom(0.3).name
+
+
+class TestExactFraction:
+    def test_exact_count(self):
+        proto, pop, state, rng = fresh(n=200)
+        ExactFraction(0.35)(pop, proto, state, rng)
+        # Source pinning can add at most one extra 1.
+        assert abs(pop.count_ones() - 70) <= 1
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(ValueError):
+            ExactFraction(-0.1)
+
+    def test_zero_fraction(self):
+        proto, pop, state, rng = fresh(n=100)
+        ExactFraction(0.0)(pop, proto, state, rng)
+        assert pop.count_ones() == 1  # only the pinned source
+
+
+class TestRandomizeProtocolState:
+    def test_leaves_opinions(self):
+        proto, pop, state, rng = fresh()
+        before = pop.opinions.copy()
+        RandomizeProtocolState()(pop, proto, state, rng)
+        assert np.array_equal(before, pop.opinions)
+
+    def test_randomizes_state(self):
+        proto, pop, state, rng = fresh(ell=20)
+        RandomizeProtocolState()(pop, proto, state, rng)
+        assert len(np.unique(state["prev_count"])) > 1
+
+
+class TestTwoRoundTarget:
+    def test_sets_fraction(self):
+        proto, pop, state, rng = fresh(n=1000)
+        TwoRoundTarget(0.2, 0.6)(pop, proto, state, rng)
+        assert pop.fraction_ones() == pytest.approx(0.6, abs=0.01)
+
+    def test_counters_reflect_x_prev(self):
+        proto, pop, state, rng = fresh(n=5000, ell=40)
+        TwoRoundTarget(0.2, 0.6)(pop, proto, state, rng)
+        assert state["prev_count"].mean() / 40 == pytest.approx(0.2, abs=0.03)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            TwoRoundTarget(1.2, 0.5)
+        with pytest.raises(ValueError):
+            TwoRoundTarget(0.5, -0.5)
+
+
+class TestZeroSpeedCenter:
+    def test_center_configuration(self):
+        proto, pop, state, rng = fresh(n=1000, ell=40)
+        ZeroSpeedCenter()(pop, proto, state, rng)
+        assert pop.fraction_ones() == pytest.approx(0.5, abs=0.01)
+        assert state["prev_count"].mean() / 40 == pytest.approx(0.5, abs=0.05)
+
+    def test_fet_still_converges(self):
+        n = 1000
+        proto = FETProtocol(56)
+        pop = make_population(n, 1)
+        rng = make_rng(17)
+        state = proto.init_state(n, rng)
+        ZeroSpeedCenter()(pop, proto, state, rng)
+        result = run_protocol(proto, pop, 5000, rng=rng, state=state)
+        assert result.converged
+
+
+class TestPoisonedCounters:
+    def test_counters_saturated(self):
+        proto, pop, state, rng = fresh(ell=10)
+        PoisonedCounters()(pop, proto, state, rng)
+        assert (state["prev_count"] == 10).all()
+        assert (pop.opinions[~pop.source_mask] == 0).all()
+
+    def test_fet_recovers(self):
+        n = 1000
+        proto = FETProtocol(56)
+        pop = make_population(n, 1)
+        rng = make_rng(21)
+        state = proto.init_state(n, rng)
+        PoisonedCounters()(pop, proto, state, rng)
+        result = run_protocol(proto, pop, 3000, rng=rng, state=state)
+        assert result.converged
+
+
+class TestFrozenUnanimity:
+    def test_rejects_pinned_population(self):
+        proto, pop, state, rng = fresh()
+        with pytest.raises(ValueError):
+            FrozenUnanimity()(pop, proto, state, rng)
+
+    def test_rejects_bad_opinion(self):
+        with pytest.raises(ValueError):
+            FrozenUnanimity(opinion=2)
+
+    def test_installs_unanimity(self):
+        pop = make_majority_population(40, k0=10, k1=5)
+        proto = FETProtocol(8)
+        rng = make_rng(0)
+        state = proto.init_state(40, rng)
+        FrozenUnanimity(opinion=1)(pop, proto, state, rng)
+        assert (pop.opinions == 1).all()
+        assert (state["prev_count"] == 8).all()
+
+    def test_freeze_is_permanent(self):
+        """The impossibility witness: the configuration never moves."""
+        pop = make_majority_population(60, k0=15, k1=5)  # majority prefers 0
+        proto = FETProtocol(8)
+        rng = make_rng(1)
+        state = proto.init_state(60, rng)
+        FrozenUnanimity(opinion=1)(pop, proto, state, rng)
+        result = run_protocol(proto, pop, 500, rng=rng, state=state)
+        assert not result.converged  # correct bit is 0, population frozen at 1
+        assert (result.trajectory == 1.0).all()
+
+    def test_zero_variant_freezes_too(self):
+        pop = make_majority_population(60, k0=5, k1=15)  # majority prefers 1
+        proto = FETProtocol(8)
+        rng = make_rng(2)
+        state = proto.init_state(60, rng)
+        FrozenUnanimity(opinion=0)(pop, proto, state, rng)
+        result = run_protocol(proto, pop, 300, rng=rng, state=state)
+        assert not result.converged
+        assert (result.trajectory == 0.0).all()

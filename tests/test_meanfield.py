@@ -1,0 +1,74 @@
+"""Tests for the deterministic mean-field skeleton."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.meanfield import OrbitFate, basin_grid, trace_orbit
+
+ELL, N = 60, 100_000
+
+
+class TestTraceOrbit:
+    def test_upward_trend_hits_correct(self):
+        orbit = trace_orbit(0.2, 0.35, ELL, N)
+        assert orbit.fate is OrbitFate.CORRECT
+        assert orbit.hit_step is not None
+        assert orbit.hit_step <= 10
+
+    def test_downward_trend_hits_wrong_first(self):
+        orbit = trace_orbit(0.8, 0.65, ELL, N)
+        assert orbit.fate is OrbitFate.WRONG
+        assert orbit.hit_step is not None
+
+    def test_zero_speed_center_escapes_via_source_bias(self):
+        """The centre is NOT a skeleton fixed point: the source's O(1/n)
+        term seeds an upward speed that Claim-3 amplification compounds —
+        the noise-free skeleton escapes to the correct side."""
+        orbit = trace_orbit(0.5, 0.5, ELL, N, max_steps=50)
+        assert orbit.fate is OrbitFate.CORRECT
+        assert orbit.hit_step is not None
+        assert orbit.hit_step > 5  # but much slower than a trending start
+
+    def test_center_stalls_within_tiny_budget(self):
+        orbit = trace_orbit(0.5, 0.5, ELL, N, max_steps=3)
+        assert orbit.fate is OrbitFate.STALLED
+        assert orbit.hit_step is None
+
+    def test_points_are_pair_shifted(self):
+        orbit = trace_orbit(0.2, 0.35, ELL, N)
+        # The x of each step equals the y of the previous step.
+        assert np.allclose(orbit.points[1:, 0], orbit.points[:-1, 1])
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            trace_orbit(0.2, 0.3, ELL, N, max_steps=0)
+
+    def test_length_consistent_with_hit(self):
+        orbit = trace_orbit(0.1, 0.4, ELL, N)
+        assert orbit.length == orbit.hit_step + 1  # initial point + steps
+
+
+class TestBasinGrid:
+    def test_shapes(self):
+        grid, fates = basin_grid(ELL, N, resolution=9, max_steps=60)
+        assert grid.shape == (9,)
+        assert len(fates) == 9 and len(fates[0]) == 9
+
+    def test_corners(self):
+        grid, fates = basin_grid(ELL, N, resolution=5, max_steps=60)
+        # (x=0, y=1): maximal upward trend -> correct immediately.
+        assert fates[4][0] is OrbitFate.CORRECT
+        # (x=1, y=0): maximal downward trend -> wrong contact first.
+        assert fates[0][4] is OrbitFate.WRONG
+
+    def test_upper_left_flows_correct(self):
+        grid, fates = basin_grid(ELL, N, resolution=11, max_steps=100)
+        # Strictly upward-trend starts away from the diagonal all reach
+        # the correct band.
+        for i in range(11):
+            for j in range(11):
+                y, x = grid[i], grid[j]
+                if y - x >= 0.2 and y < 0.999:
+                    assert fates[i][j] is OrbitFate.CORRECT, (x, y)

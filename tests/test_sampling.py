@@ -1,0 +1,132 @@
+"""Tests for the PULL sampling substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.population import make_population
+from repro.core.rng import make_rng
+from repro.core.sampling import BinomialCountSampler, IndexSampler
+
+
+def population_with_fraction(n: int, x: float):
+    pop = make_population(n, 1)
+    opinions = np.zeros(n, dtype=np.uint8)
+    opinions[: int(round(x * n))] = 1
+    pop.adversarial_opinions(opinions)
+    return pop
+
+
+class TestBinomialCountSampler:
+    def test_counts_shape(self):
+        pop = population_with_fraction(100, 0.3)
+        counts = BinomialCountSampler().counts(pop, 10, make_rng(0))
+        assert counts.shape == (100,)
+
+    def test_counts_range(self):
+        pop = population_with_fraction(100, 0.3)
+        counts = BinomialCountSampler().counts(pop, 10, make_rng(0))
+        assert counts.min() >= 0 and counts.max() <= 10
+
+    def test_zero_ell(self):
+        pop = population_with_fraction(100, 0.3)
+        counts = BinomialCountSampler().counts(pop, 0, make_rng(0))
+        assert (counts == 0).all()
+
+    def test_negative_ell_rejected(self):
+        pop = population_with_fraction(10, 0.3)
+        with pytest.raises(ValueError):
+            BinomialCountSampler().counts(pop, -1, make_rng(0))
+
+    def test_all_ones_population(self):
+        pop = population_with_fraction(50, 1.0)
+        counts = BinomialCountSampler().counts(pop, 7, make_rng(0))
+        assert (counts == 7).all()
+
+    def test_mean_matches_fraction(self):
+        pop = population_with_fraction(4000, 0.4)
+        counts = BinomialCountSampler().counts(pop, 20, make_rng(1))
+        assert counts.mean() / 20 == pytest.approx(0.4, abs=0.02)
+
+    def test_blocks_shape(self):
+        pop = population_with_fraction(100, 0.3)
+        blocks = BinomialCountSampler().count_blocks(pop, 10, 2, make_rng(0))
+        assert blocks.shape == (2, 100)
+
+    def test_blocks_are_not_identical(self):
+        pop = population_with_fraction(500, 0.5)
+        blocks = BinomialCountSampler().count_blocks(pop, 10, 2, make_rng(0))
+        assert not np.array_equal(blocks[0], blocks[1])
+
+    def test_no_indices(self):
+        pop = population_with_fraction(10, 0.3)
+        with pytest.raises(NotImplementedError):
+            BinomialCountSampler().indices(pop, 2, make_rng(0))
+
+
+class TestIndexSampler:
+    def test_indices_shape_and_range(self):
+        pop = population_with_fraction(30, 0.5)
+        idx = IndexSampler().indices(pop, 5, make_rng(0))
+        assert idx.shape == (30, 5)
+        assert idx.min() >= 0 and idx.max() < 30
+
+    def test_exclude_self(self):
+        pop = population_with_fraction(20, 0.5)
+        sampler = IndexSampler(exclude_self=True)
+        for seed in range(5):
+            idx = sampler.indices(pop, 8, make_rng(seed))
+            own = np.arange(20)[:, None]
+            assert (idx != own).all()
+
+    def test_exclude_self_covers_all_others(self):
+        pop = population_with_fraction(5, 0.5)
+        idx = IndexSampler(exclude_self=True).indices(pop, 2000, make_rng(3))
+        for agent in range(5):
+            others = set(range(5)) - {agent}
+            assert set(np.unique(idx[agent])) == others
+
+    def test_counts_match_indices(self):
+        pop = population_with_fraction(40, 0.25)
+        counts = IndexSampler().counts(pop, 6, make_rng(2))
+        assert counts.shape == (40,)
+        assert counts.min() >= 0 and counts.max() <= 6
+
+    def test_zero_ell_counts(self):
+        pop = population_with_fraction(40, 0.25)
+        counts = IndexSampler().counts(pop, 0, make_rng(2))
+        assert (counts == 0).all()
+
+    def test_negative_ell_rejected(self):
+        pop = population_with_fraction(10, 0.3)
+        with pytest.raises(ValueError):
+            IndexSampler().indices(pop, -2, make_rng(0))
+
+
+class TestDistributionalAgreement:
+    """The fast sampler must match the literal sampler in distribution."""
+
+    def test_count_means_agree(self):
+        pop = population_with_fraction(2000, 0.3)
+        ell = 15
+        fast = BinomialCountSampler().counts(pop, ell, make_rng(10))
+        literal = IndexSampler().counts(pop, ell, make_rng(11))
+        # Means of 2000 Binomial(15, 0.3) draws: sd of mean ~ 0.04.
+        assert fast.mean() == pytest.approx(literal.mean(), abs=0.25)
+
+    def test_count_variances_agree(self):
+        pop = population_with_fraction(2000, 0.3)
+        ell = 15
+        fast = BinomialCountSampler().counts(pop, ell, make_rng(12))
+        literal = IndexSampler().counts(pop, ell, make_rng(13))
+        assert fast.var() == pytest.approx(literal.var(), rel=0.2)
+
+    def test_histograms_agree(self):
+        pop = population_with_fraction(5000, 0.5)
+        ell = 8
+        fast = BinomialCountSampler().counts(pop, ell, make_rng(14))
+        literal = IndexSampler().counts(pop, ell, make_rng(15))
+        hist_fast = np.bincount(fast, minlength=ell + 1) / fast.size
+        hist_lit = np.bincount(literal, minlength=ell + 1) / literal.size
+        assert np.abs(hist_fast - hist_lit).max() < 0.03

@@ -1,0 +1,104 @@
+"""Tests for the statistics helpers (summaries and scaling fits)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.fitting import fit_log_power
+from repro.stats.summary import describe_times, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(80, 100)
+        assert lo < 0.8 < hi
+
+    def test_perfect_rate_below_one(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == pytest.approx(1.0)
+        assert lo < 1.0  # finite evidence cannot certify probability 1
+
+    def test_zero_rate(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(8, 10)
+        lo2, hi2 = wilson_interval(800, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_bounds_in_unit_interval(self):
+        for s, t in [(1, 3), (2, 2), (0, 7)]:
+            lo, hi = wilson_interval(s, t)
+            assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestDescribeTimes:
+    def test_empty(self):
+        summary = describe_times([])
+        assert summary.count == 0
+        assert np.isnan(summary.mean)
+
+    def test_single_value(self):
+        summary = describe_times([7.0])
+        assert summary.count == 1
+        assert summary.mean == summary.median == summary.p95 == 7.0
+
+    def test_statistics(self):
+        data = np.arange(1, 101, dtype=float)
+        summary = describe_times(data)
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.p95 == pytest.approx(np.quantile(data, 0.95))
+        assert summary.maximum == 100.0
+        assert summary.minimum == 1.0
+
+    def test_as_dict_keys(self):
+        d = describe_times([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "mean", "median", "p95", "max", "min"}
+
+
+class TestFitLogPower:
+    def test_recovers_known_exponent(self):
+        ns = np.array([2**k for k in range(6, 16)])
+        times = 3.0 * np.log(ns) ** 2.5
+        fit = fit_log_power(ns, times)
+        assert fit.b == pytest.approx(2.5, abs=1e-9)
+        assert fit.a == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_under_noise(self):
+        rng = np.random.default_rng(0)
+        ns = np.array([2**k for k in range(6, 18)])
+        times = 2.0 * np.log(ns) ** 1.5 * rng.uniform(0.9, 1.1, size=ns.size)
+        fit = fit_log_power(ns, times)
+        assert fit.b == pytest.approx(1.5, abs=0.35)
+        assert fit.r_squared > 0.9
+
+    def test_predict(self):
+        ns = np.array([100, 1000, 10_000, 100_000])
+        times = 5.0 * np.log(ns) ** 2
+        fit = fit_log_power(ns, times)
+        assert fit.predict(1_000_000) == pytest.approx(5.0 * np.log(1e6) ** 2, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_log_power([10, 100], [1.0, 2.0])  # too few points
+        with pytest.raises(ValueError):
+            fit_log_power([2, 10, 100], [1.0, 2.0, 3.0])  # n <= e
+        with pytest.raises(ValueError):
+            fit_log_power([10, 100, 1000], [1.0, -2.0, 3.0])  # negative time
+        with pytest.raises(ValueError):
+            fit_log_power([10, 10, 10], [1.0, 1.0, 1.0])  # clustered n
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_log_power([10, 100, 1000], [1.0, 2.0])

@@ -1,0 +1,123 @@
+"""Tests for the theoretical bound helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    amplification_lower_bound,
+    cyan_dwell_bound,
+    cyan_gamma,
+    cyan_growth_constant,
+    green_dwell_bound,
+    purple_dwell_bound,
+    red_dwell_bound,
+    theorem1_bound,
+    yellow_b_dwell_bound,
+    yellow_dwell_bound,
+)
+
+
+class TestTheorem1Bound:
+    def test_value(self):
+        assert theorem1_bound(1000) == pytest.approx(math.log(1000) ** 2.5)
+
+    def test_constant_scales(self):
+        assert theorem1_bound(1000, 3.0) == pytest.approx(3 * theorem1_bound(1000))
+
+    def test_monotone_in_n(self):
+        assert theorem1_bound(10**6) > theorem1_bound(10**3)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(2)
+
+    def test_yellow_equals_theorem(self):
+        assert yellow_dwell_bound(5000, 2.0) == theorem1_bound(5000, 2.0)
+
+
+class TestRedBound:
+    def test_value(self):
+        assert red_dwell_bound(1000, 0.05) == pytest.approx(math.log(1000) ** 0.6)
+
+    def test_grows_slower_than_theorem1(self):
+        for n in (10**3, 10**6, 10**9):
+            assert red_dwell_bound(n) < theorem1_bound(n)
+
+
+class TestCyanBound:
+    def test_value(self):
+        n = 10**4
+        expected = math.log(n) / math.log(math.log(n))
+        assert cyan_dwell_bound(n) == pytest.approx(expected)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            cyan_dwell_bound(2)
+
+    def test_sublogarithmic(self):
+        assert cyan_dwell_bound(10**6) < math.log(10**6)
+
+
+class TestOneRoundBounds:
+    def test_green(self):
+        assert green_dwell_bound(100) == 1.0
+
+    def test_purple(self):
+        assert purple_dwell_bound(100) == 1.0
+
+
+class TestYellowB:
+    def test_value(self):
+        n, c, c4 = 10**4, 8.0, 1 / 36
+        expected = (math.sqrt(c) / c4) * math.log(n) ** 1.5
+        assert yellow_b_dwell_bound(n, c, c4) == pytest.approx(expected)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ValueError):
+            yellow_b_dwell_bound(100, -1.0, 0.1)
+
+    def test_below_yellow_total(self):
+        n = 10**6
+        assert yellow_b_dwell_bound(n, 8.0, 1 / 36) < yellow_dwell_bound(n, 400.0)
+
+
+class TestSection4Constants:
+    def test_gamma_formula(self):
+        c = 1.0
+        assert cyan_gamma(c) == pytest.approx((1 - 1 / math.e) * math.exp(-2) / 2)
+
+    def test_growth_formula(self):
+        c = 1.0
+        assert cyan_growth_constant(c) == pytest.approx(math.exp(-2) / 2)
+
+    def test_positive(self):
+        for c in (0.5, 2.0, 8.0):
+            assert cyan_gamma(c) > 0
+            assert cyan_growth_constant(c) > 0
+
+    def test_reject_nonpositive_c(self):
+        with pytest.raises(ValueError):
+            cyan_gamma(0.0)
+        with pytest.raises(ValueError):
+            cyan_growth_constant(-1.0)
+
+
+class TestAmplification:
+    def test_formula(self):
+        assert amplification_lower_bound(100, alpha=9.0) == pytest.approx(
+            1 + (1 / 36) / 10
+        )
+
+    def test_decreases_with_ell(self):
+        assert amplification_lower_bound(16) > amplification_lower_bound(256)
+
+    def test_always_above_one(self):
+        for ell in (1, 10, 10_000):
+            assert amplification_lower_bound(ell) > 1.0
+
+    def test_rejects_bad_ell(self):
+        with pytest.raises(ValueError):
+            amplification_lower_bound(0)

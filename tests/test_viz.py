@@ -1,0 +1,127 @@
+"""Tests for ASCII rendering and CSV emission."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.domains import Domain, DomainPartition, YellowArea
+from repro.viz.ascii_grid import (
+    DOMAIN_GLYPHS,
+    YELLOW_GLYPHS,
+    render_domain_map,
+    render_trajectory,
+    render_yellow_map,
+)
+from repro.viz.csv_out import write_domain_grid, write_rows
+from repro.viz.tables import format_rows, format_table
+
+
+@pytest.fixture
+def part():
+    return DomainPartition(n=1000, delta=0.05)
+
+
+class TestDomainMap:
+    def test_contains_legend(self, part):
+        out = render_domain_map(part, 21)
+        assert "legend:" in out
+        assert "G=Green1" in out
+
+    def test_row_count(self, part):
+        out = render_domain_map(part, 21)
+        assert len(out.splitlines()) == 21 + 3  # grid + axis + params + legend
+
+    def test_green_in_top_left(self, part):
+        rows = render_domain_map(part, 21).splitlines()
+        assert "G" in rows[0]
+
+    def test_all_glyphs_distinct(self):
+        glyphs = list(DOMAIN_GLYPHS.values())
+        assert len(glyphs) == len(set(glyphs))
+
+    def test_every_domain_has_glyph(self):
+        assert set(DOMAIN_GLYPHS) == set(Domain)
+
+
+class TestYellowMap:
+    def test_contains_all_six_areas(self, part):
+        out = render_yellow_map(part, 41)
+        for glyph in ("A", "B", "C", "a", "b", "c"):
+            assert glyph in out
+
+    def test_every_area_has_glyph(self):
+        assert set(YELLOW_GLYPHS) == set(YellowArea)
+
+    def test_no_outside_cells_inside_square(self, part):
+        grid_lines = render_yellow_map(part, 21).splitlines()[:21]
+        body = "".join(line[6:] for line in grid_lines)
+        assert "." not in body
+
+
+class TestTrajectory:
+    def test_empty(self):
+        assert "empty" in render_trajectory(np.array([]))
+
+    def test_contains_marks(self):
+        out = render_trajectory(np.linspace(0, 1, 30))
+        assert "*" in out
+
+    def test_downsamples(self):
+        out = render_trajectory(np.linspace(0, 1, 10_000), width=40)
+        longest = max(len(line) for line in out.splitlines())
+        assert longest < 60
+
+    def test_monotone_trajectory_is_monotone_chart(self):
+        out = render_trajectory(np.linspace(0, 1, 20), width=20, height=10)
+        rows = out.splitlines()[:10]
+        first_mark_cols = []
+        for row in rows:
+            body = row.split("|", 1)[1]
+            if "*" in body:
+                first_mark_cols.append(body.index("*"))
+        # Higher levels (earlier rows) must be reached later in time.
+        assert first_mark_cols == sorted(first_mark_cols, reverse=True)
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[2]
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_rows_dicts(self):
+        out = format_rows([{"n": 10, "t": 1.5}, {"n": 20, "t": 2.5}])
+        assert "n" in out and "t" in out
+        assert "20" in out
+
+
+class TestCsvOut:
+    def test_write_rows(self, tmp_path):
+        path = write_rows(tmp_path / "sub" / "x.csv", ("a", "b"), [(1, 2), (3, 4)])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_write_domain_grid(self, tmp_path, part):
+        path = write_domain_grid(tmp_path / "grid.csv", part, resolution=11)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x_t", "x_t1", "domain"]
+        assert len(rows) == 1 + 11 * 11
+        domains = {row[2] for row in rows[1:]}
+        assert "Green1" in domains
