@@ -1,0 +1,156 @@
+"""E-throughput — sequential vs batched engine throughput.
+
+Not a paper artifact: this benchmark tracks the *simulation machinery* itself,
+so the performance trajectory of the engines is measured from the PR that
+introduced the batched path onward. It times ``run_trials`` end to end
+(initialization included) for FET on both engines across population sizes and
+the two canonical workloads:
+
+* ``all-wrong`` — the dissemination start; trials converge in a handful of
+  rounds, so per-trial setup and the near-consensus rounds dominate;
+* ``bernoulli(0.5)`` — the self-stabilization random start; trials pass
+  through mid-range one-fractions, where numpy's per-draw binomial setup is
+  most expensive and the batched sufficient-statistic sampler pays off most.
+
+Emits ``results/BENCH_engine.json`` with seconds, rounds/sec, trials/sec and
+the batched-over-sequential speedup per (n, workload) cell. The headline cell
+(n=1000, trials=500, random start) is expected to hold a ≥5× speedup.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_engine_throughput.py``)
+or through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from bench_common import banner, results_path, run_once
+from repro.experiments.harness import TrialStats, run_trials
+from repro.initializers.standard import AllWrong, BernoulliRandom, Initializer
+from repro.protocols.fet import FETProtocol, ell_for
+from repro.viz.tables import format_table
+
+#: (n, trials) cells; trials shrink with n to keep the benchmark brisk while
+#: the acceptance cell n=1000 keeps its full 500 trials.
+CELLS = [(100, 500), (1000, 500), (10000, 100)]
+MAX_ROUNDS = 2000
+SEED = 20260729
+#: timing repetitions per cell; min-of-k filters scheduler noise and warm-up
+REPEATS = 3
+
+
+def _executed_rounds(stats: TrialStats) -> int:
+    """Total synchronous replica-rounds a run actually simulated.
+
+    A converged trial steps until its stability window closes:
+    ``max(rounds + stability - 1, stability - 1)`` rounds with the default
+    window of 2; a failed trial runs the full budget. Identical accounting on
+    both engines, so rounds/sec is comparable.
+    """
+    executed = 0.0
+    executed += float((stats.times + 1.0).sum())  # stability_rounds=2
+    executed += (stats.trials - stats.successes) * stats.max_rounds
+    return int(executed)
+
+
+def run_cell(n: int, trials: int, initializer: Initializer) -> list[dict]:
+    ell = ell_for(n)
+    rows = []
+    timings = {}
+    for engine in ("sequential", "batched"):
+        seconds = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            stats = run_trials(
+                lambda: FETProtocol(ell),
+                n,
+                initializer,
+                trials=trials,
+                max_rounds=MAX_ROUNDS,
+                seed=SEED,
+                engine=engine,
+            )
+            seconds = min(seconds, time.perf_counter() - start)
+        timings[engine] = seconds
+        rounds = _executed_rounds(stats)
+        rows.append(
+            {
+                "engine": engine,
+                "init": initializer.name,
+                "n": n,
+                "ell": ell,
+                "trials": trials,
+                "successes": stats.successes,
+                "mean_rounds": float(stats.times.mean()) if stats.times.size else None,
+                "seconds": round(seconds, 4),
+                "rounds_per_sec": round(rounds / seconds, 1),
+                "trials_per_sec": round(trials / seconds, 1),
+            }
+        )
+    speedup = timings["sequential"] / timings["batched"]
+    for row in rows:
+        row["speedup"] = round(speedup, 2) if row["engine"] == "batched" else 1.0
+    return rows
+
+
+def run_benchmark() -> list[dict]:
+    all_rows = []
+    for n, trials in CELLS:
+        for initializer in (AllWrong(), BernoulliRandom(0.5)):
+            all_rows.extend(run_cell(n, trials, initializer))
+    return all_rows
+
+
+def report(all_rows: list[dict]) -> None:
+    print(banner("Engine throughput — sequential vs batched (FET)"))
+    table = [
+        [
+            row["n"],
+            row["init"],
+            row["engine"],
+            row["trials"],
+            f"{row['successes']}/{row['trials']}",
+            row["seconds"],
+            row["rounds_per_sec"],
+            row["trials_per_sec"],
+            row["speedup"],
+        ]
+        for row in all_rows
+    ]
+    print(
+        format_table(
+            ["n", "init", "engine", "trials", "success", "sec", "rounds/s", "trials/s", "speedup"],
+            table,
+        )
+    )
+    headline = [
+        row
+        for row in all_rows
+        if row["n"] == 1000 and row["engine"] == "batched" and row["init"].startswith("bernoulli")
+    ]
+    if headline:
+        print(f"\nheadline (n=1000, trials=500, random start): {headline[0]['speedup']}x batched speedup")
+    path = results_path("BENCH_engine.json")
+    path.write_text(json.dumps({"cells": all_rows}, indent=2))
+    print(f"wrote {path}")
+
+
+def test_engine_throughput(benchmark):
+    all_rows = run_once(benchmark, run_benchmark)
+    report(all_rows)
+    headline = [
+        row
+        for row in all_rows
+        if row["n"] == 1000 and row["engine"] == "batched" and row["init"].startswith("bernoulli")
+    ]
+    # Loose floor: the acceptance target is 5x; assert well below it so the
+    # benchmark stays green on slower/noisier machines while still catching a
+    # regression that erases the batched advantage.
+    assert headline and headline[0]["speedup"] >= 2.0
+
+
+if __name__ == "__main__":
+    report(run_benchmark())
+    sys.exit(0)

@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="FET vs baselines from the all-wrong start")
     compare.add_argument("-n", type=int, default=1000, help="population size (default 1000)")
     compare.add_argument("--trials", type=int, default=5, help="trials per protocol (default 5)")
+    compare.add_argument(
+        "--engine",
+        choices=["auto", "batched", "sequential"],
+        default="auto",
+        help="trial execution engine (default auto: batched when the protocol supports it)",
+    )
 
     return parser
 
@@ -116,6 +122,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             trials=args.trials,
             max_rounds=budget,
             seed=args.seed + index,
+            engine=args.engine,
         )
         summary = stats.time_summary()
         table.append([

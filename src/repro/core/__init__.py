@@ -1,14 +1,63 @@
-"""Core substrate: population, sampling, protocol interface, round engine."""
+"""Core substrate: population, sampling, protocol interface, round engines.
 
+Performance architecture
+------------------------
+The hot path of every aggregate experiment is *many independent trials of one
+configuration*. Two layers keep it fast:
+
+1. **Exact count-level sampling.** Under uniform-with-replacement ``PULL``
+   sampling, an agent's observation is fully summarized by its 1-count, which
+   is exactly ``Binomial(ℓ, x_t)`` — so a round needs one binomial tensor, not
+   ``n·ℓ`` materialized samples (:class:`BinomialCountSampler`).
+2. **Batched replicas.** Because that count depends on the population only
+   through ``x_t``, R replicas advance in lock-step as a single ``(R, n)``
+   matrix (:mod:`repro.core.batch`): per-replica one-fractions key one
+   :class:`BatchedBinomialSampler` call per round, vectorized protocols
+   (``Protocol.batch_vectorized``) step every replica with a handful of numpy
+   ops, and converged replicas retire from a compacted working set so finished
+   trials stop costing work. The sampler tiers its draw strategy by where
+   each replica's ``x`` sits (deterministic fills at consensus, numpy's
+   scalar-p generator near the ends, shared-CDF inversion in the middle), so
+   the draws themselves — not just the Python overhead — get cheaper than a
+   per-trial loop.
+
+The batched fast path applies to memoryless-*sampling* protocols (observation
+= 1-count): everything whose scalar ``step`` consumes ``sampler.counts`` /
+``count_blocks``. Protocols that materialize identities (index-level or
+non-passive baselines) and consumers that record per-round trajectories or
+flip logs stay on the per-trial :class:`SynchronousEngine`;
+``run_trials(engine="auto")`` picks the right engine per call.
+"""
+
+from .batch import (
+    BatchedEngine,
+    BatchedPopulation,
+    BatchRunResult,
+    run_protocol_batched,
+    stack_states,
+)
 from .engine import SynchronousEngine, run_protocol
-from .noise import NoisyCountSampler, noisy_fraction
+from .noise import BatchedNoisyCountSampler, NoisyCountSampler, noisy_fraction
 from .population import PopulationState, make_majority_population, make_population
 from .protocol import Protocol, ProtocolState
 from .records import RoundRecord, RunResult
 from .rng import as_rng, derive_rng, make_rng, spawn_rngs
-from .sampling import BinomialCountSampler, IndexSampler, Sampler
+from .sampling import (
+    BatchedBinomialSampler,
+    BatchedSampler,
+    BinomialCountSampler,
+    IndexSampler,
+    Sampler,
+    batched_binomial_counts,
+)
 
 __all__ = [
+    "BatchRunResult",
+    "BatchedBinomialSampler",
+    "BatchedEngine",
+    "BatchedNoisyCountSampler",
+    "BatchedPopulation",
+    "BatchedSampler",
     "BinomialCountSampler",
     "IndexSampler",
     "NoisyCountSampler",
@@ -20,11 +69,14 @@ __all__ = [
     "Sampler",
     "SynchronousEngine",
     "as_rng",
+    "batched_binomial_counts",
     "derive_rng",
     "make_majority_population",
     "make_population",
     "make_rng",
     "noisy_fraction",
     "run_protocol",
+    "run_protocol_batched",
     "spawn_rngs",
+    "stack_states",
 ]

@@ -1,0 +1,509 @@
+"""Batched multi-replica simulation: R independent trials as one (R, n) system.
+
+Every aggregate result in this repository is an average over many independent
+trials of the *same* configuration: same ``n``, same source structure, same
+protocol, different random streams. Under uniform-with-replacement ``PULL``
+sampling the round update of a replica depends on the population only through
+its one-fraction ``x_t`` — the same observation that makes
+:class:`~repro.core.sampling.BinomialCountSampler` exact. R replicas can
+therefore advance in lock-step as one matrix-shaped system:
+
+* opinions live in a single ``(R, n)`` ``uint8`` matrix
+  (:class:`BatchedPopulation`), sharing the source structure across rows;
+* per-agent observations for the whole batch come from one
+  :class:`~repro.core.sampling.BatchedSampler` call keyed on the ``(R,)``
+  vector of per-replica one-fractions;
+* per-agent protocol state is stacked the same way (leading replica axis), and
+  vectorized protocols (``Protocol.batch_vectorized``) step every replica with
+  a handful of numpy calls.
+
+:class:`BatchedEngine` drives the batch with the exact semantics of
+:class:`~repro.core.engine.SynchronousEngine.run`: per-replica stability-window
+tracking, the same convergence-round accounting (``t_con`` = first round of
+the final all-correct streak), and *retirement* — a replica whose streak
+reaches the stability window is removed from the active working set, so
+finished trials stop costing work and their state provably never changes
+again. The working set is kept compact (converged rows are physically dropped,
+not masked), so late rounds with few stragglers cost ``O(active × n)``, not
+``O(R × n)``.
+
+The batched path is exact in distribution, not bitwise identical to looping
+:class:`~repro.core.engine.SynchronousEngine` over trials: replicas consume a
+shared dynamics stream instead of per-trial streams. Trajectory- and
+flip-recording consumers keep using the sequential engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .population import PopulationState
+from .protocol import Protocol, ProtocolState
+from .rng import as_rng
+from .sampling import BatchedBinomialSampler, BatchedSampler
+
+__all__ = [
+    "BatchedPopulation",
+    "BatchRunResult",
+    "BatchedEngine",
+    "run_protocol_batched",
+    "stack_states",
+]
+
+
+class BatchedPopulation:
+    """R replicas of one population as a single ``(R, n)`` opinion matrix.
+
+    All replicas share the source structure (``source_mask``,
+    ``source_preferences``, ``correct_opinion``, ``pin_each_round``); each row
+    is an independent copy of the opinion vector. The per-replica one-counts
+    are cached exactly like :class:`PopulationState` caches its scalar count;
+    callers that write into ``opinions`` directly must call
+    :meth:`invalidate_cache`.
+    """
+
+    def __init__(
+        self,
+        opinions: np.ndarray,
+        source_mask: np.ndarray,
+        source_preferences: np.ndarray,
+        correct_opinion: int,
+        pin_each_round: bool = True,
+    ) -> None:
+        self.opinions = np.asarray(opinions, dtype=np.uint8)
+        self.source_mask = np.asarray(source_mask, dtype=bool)
+        self.source_preferences = np.asarray(source_preferences, dtype=np.uint8)
+        self.correct_opinion = int(correct_opinion)
+        self.pin_each_round = bool(pin_each_round)
+        if self.opinions.ndim != 2:
+            raise ValueError(f"opinions must have shape (R, n), got {self.opinions.shape}")
+        replicas, n = self.opinions.shape
+        if replicas < 1:
+            raise ValueError("batch needs at least one replica")
+        if n < 2:
+            raise ValueError(f"population needs at least 2 agents, got {n}")
+        if self.source_mask.shape != (n,) or self.source_preferences.shape != (n,):
+            raise ValueError("source_mask and source_preferences must share shape (n,)")
+        if self.correct_opinion not in (0, 1):
+            raise ValueError(f"correct_opinion must be 0 or 1, got {self.correct_opinion}")
+        if not self.source_mask.any():
+            raise ValueError("population must contain at least one source agent")
+        if not np.isin(self.opinions, (0, 1)).all():
+            raise ValueError("opinions must be 0/1 valued")
+        self._ones_count: np.ndarray | None = None
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def _trusted(
+        cls,
+        opinions: np.ndarray,
+        source_mask: np.ndarray,
+        source_preferences: np.ndarray,
+        correct_opinion: int,
+        pin_each_round: bool,
+    ) -> "BatchedPopulation":
+        """Wrap arrays known to satisfy the invariants, skipping the O(R·n)
+        validation — for internal hot paths (row selection, stacking rows of
+        already-validated populations)."""
+        batch = object.__new__(cls)
+        batch.opinions = opinions
+        batch.source_mask = source_mask
+        batch.source_preferences = source_preferences
+        batch.correct_opinion = correct_opinion
+        batch.pin_each_round = pin_each_round
+        batch._ones_count = None
+        return batch
+
+    @classmethod
+    def from_population(cls, population: PopulationState, replicas: int) -> "BatchedPopulation":
+        """Tile one population into ``replicas`` identical rows."""
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        return cls(
+            opinions=np.tile(population.opinions, (replicas, 1)),
+            source_mask=population.source_mask.copy(),
+            source_preferences=population.source_preferences.copy(),
+            correct_opinion=population.correct_opinion,
+            pin_each_round=population.pin_each_round,
+        )
+
+    @classmethod
+    def from_populations(cls, populations: Sequence[PopulationState]) -> "BatchedPopulation":
+        """Stack independently initialized populations of one configuration.
+
+        Every population must share the source structure — the batch models R
+        trials of the *same* system, only the random initial opinions differ.
+        """
+        if not populations:
+            raise ValueError("need at least one population")
+        first = populations[0]
+        for pop in populations[1:]:
+            if (
+                pop.n != first.n
+                or pop.correct_opinion != first.correct_opinion
+                or pop.pin_each_round != first.pin_each_round
+                or not np.array_equal(pop.source_mask, first.source_mask)
+                or not np.array_equal(pop.source_preferences, first.source_preferences)
+            ):
+                raise ValueError("all replicas must share the same source structure")
+        # Rows come from already-validated PopulationStates; skip re-validation.
+        return cls._trusted(
+            opinions=np.stack([pop.opinions for pop in populations]),
+            source_mask=first.source_mask.copy(),
+            source_preferences=first.source_preferences.copy(),
+            correct_opinion=first.correct_opinion,
+            pin_each_round=first.pin_each_round,
+        )
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def replicas(self) -> int:
+        return int(self.opinions.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.opinions.shape[1])
+
+    @property
+    def num_sources(self) -> int:
+        return int(self.source_mask.sum())
+
+    @property
+    def nonsource_mask(self) -> np.ndarray:
+        return ~self.source_mask
+
+    def count_ones(self) -> np.ndarray:
+        """Per-replica number of 1-opinions, shape ``(R,)``."""
+        if self._ones_count is None:
+            self._ones_count = self.opinions.sum(axis=1, dtype=np.int64)
+        return self._ones_count
+
+    def fraction_ones(self) -> np.ndarray:
+        """Per-replica ``x_t``, shape ``(R,)``."""
+        return self.count_ones() / self.n
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached one-counts after a direct write into ``opinions``."""
+        self._ones_count = None
+
+    def replica(self, r: int) -> PopulationState:
+        """Single-replica :class:`PopulationState` over row ``r``.
+
+        The returned state is a read snapshot backed by a *view* of row ``r``;
+        it shares the source arrays. Mutating it through its own methods
+        rebinds its arrays and does not propagate back to the batch — the
+        generic per-replica fallback writes results back explicitly.
+        """
+        return PopulationState(
+            opinions=self.opinions[r],
+            source_mask=self.source_mask,
+            source_preferences=self.source_preferences,
+            correct_opinion=self.correct_opinion,
+            pin_each_round=self.pin_each_round,
+        )
+
+    # -------------------------------------------------------------- mutation
+
+    def set_opinions(self, new_opinions: np.ndarray) -> None:
+        """Replace all rows, then re-pin sources in every replica."""
+        new_opinions = np.asarray(new_opinions, dtype=np.uint8)
+        if new_opinions.shape != self.opinions.shape:
+            raise ValueError("opinion matrix shape mismatch")
+        self.opinions = new_opinions
+        self.invalidate_cache()
+        if self.pin_each_round:
+            self.pin_sources()
+
+    def pin_sources(self) -> None:
+        """Force every source agent's opinion to its preference, in every row."""
+        self.opinions[:, self.source_mask] = self.source_preferences[self.source_mask][None, :]
+        self.invalidate_cache()
+
+    def adversarial_opinions(
+        self, opinions: np.ndarray, *, pin_sources: bool = True, validate: bool = True
+    ) -> None:
+        """Install an adversarial ``(R, n)`` opinion configuration.
+
+        The batched analogue of :meth:`PopulationState.adversarial_opinions`;
+        ``validate=False`` skips the O(R·n) 0/1 check for initializers whose
+        matrices are 0/1 by construction.
+        """
+        opinions = np.asarray(opinions, dtype=np.uint8)
+        if opinions.shape != self.opinions.shape:
+            raise ValueError("opinion matrix shape mismatch")
+        if validate and not np.isin(opinions, (0, 1)).all():
+            raise ValueError("opinions must be 0/1 valued")
+        self.opinions = opinions.copy()
+        self.invalidate_cache()
+        if pin_sources:
+            self.pin_sources()
+
+    # ------------------------------------------------------------ predicates
+
+    def at_consensus(self) -> np.ndarray:
+        """Per-replica: every agent outputs the same opinion. Shape ``(R,)``."""
+        ones = self.count_ones()
+        return (ones == 0) | (ones == self.n)
+
+    def at_correct_consensus(self) -> np.ndarray:
+        """Per-replica: every agent outputs the correct opinion. Shape ``(R,)``."""
+        ones = self.count_ones()
+        return ones == self.n if self.correct_opinion == 1 else ones == 0
+
+    def nonsource_correct_fraction(self) -> np.ndarray:
+        """Per-replica fraction of non-source agents on the correct opinion."""
+        nonsource = self.opinions[:, self.nonsource_mask]
+        if nonsource.shape[1] == 0:
+            return np.ones(self.replicas)
+        return (nonsource == self.correct_opinion).mean(axis=1)
+
+    # ----------------------------------------------------------------- misc
+
+    def select(self, rows: np.ndarray) -> "BatchedPopulation":
+        """New batch holding only ``rows`` (boolean mask or index array).
+
+        Opinion rows are copied; the shared source structure is not. Used by
+        the engine to compact the working set when replicas retire.
+        """
+        sub = BatchedPopulation._trusted(
+            opinions=self.opinions[rows],
+            source_mask=self.source_mask,
+            source_preferences=self.source_preferences,
+            correct_opinion=self.correct_opinion,
+            pin_each_round=self.pin_each_round,
+        )
+        if self._ones_count is not None:
+            sub._ones_count = self._ones_count[rows]
+        return sub
+
+    def copy(self) -> "BatchedPopulation":
+        return BatchedPopulation._trusted(
+            opinions=self.opinions.copy(),
+            source_mask=self.source_mask.copy(),
+            source_preferences=self.source_preferences.copy(),
+            correct_opinion=self.correct_opinion,
+            pin_each_round=self.pin_each_round,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchedPopulation(replicas={self.replicas}, n={self.n})"
+
+
+def stack_states(states: Sequence[ProtocolState]) -> ProtocolState:
+    """Stack per-replica protocol states along a new leading replica axis.
+
+    ``R`` states with arrays of shape ``s`` become one state with arrays of
+    shape ``(R, *s)``. Stateless protocols (empty dicts) stack to an empty
+    dict.
+    """
+    if not states:
+        raise ValueError("need at least one state")
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise ValueError("all replica states must hold the same variables")
+    return {key: np.stack([state[key] for state in states]) for key in keys}
+
+
+@dataclass
+class BatchRunResult:
+    """Per-replica outcome of a :class:`BatchedEngine` run.
+
+    Attributes
+    ----------
+    converged:
+        ``(R,)`` bool — replica reached the correct consensus and held it for
+        the stability window before ``max_rounds``.
+    rounds:
+        ``(R,)`` int — the replica's ``t_con`` (first round of the final
+        streak) when converged, else the number of rounds executed; exactly
+        :attr:`RunResult.rounds` of the sequential engine, per replica.
+    rounds_executed:
+        ``(R,)`` int — synchronous rounds actually simulated for the replica
+        (its retirement round, or ``max_rounds``). Throughput accounting.
+    final_fractions:
+        ``(R,)`` float — one-fraction of each replica's final configuration.
+    """
+
+    converged: np.ndarray
+    rounds: np.ndarray
+    rounds_executed: np.ndarray
+    final_fractions: np.ndarray
+
+    @property
+    def replicas(self) -> int:
+        return int(self.converged.shape[0])
+
+    @property
+    def successes(self) -> int:
+        return int(np.count_nonzero(self.converged))
+
+    def times(self) -> np.ndarray:
+        """Convergence rounds of the successful replicas, as floats."""
+        return self.rounds[self.converged].astype(float)
+
+    def summary(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "successes": self.successes,
+            "total_rounds_executed": int(self.rounds_executed.sum()),
+        }
+
+
+class BatchedEngine:
+    """Lock-step driver for R replicas with per-replica retirement.
+
+    Parameters
+    ----------
+    protocol:
+        The update rule; stepped through :meth:`Protocol.step_batch` (the
+        vectorized implementation when the protocol provides one, else the
+        generic per-replica fallback). One protocol instance serves the whole
+        batch, so instance attributes must be round configuration only — all
+        per-agent state belongs in the state dict, which is the existing
+        contract of :class:`Protocol`.
+    batch:
+        The replicas to simulate. After :meth:`run`, ``batch.opinions`` holds
+        every replica's *final* configuration (frozen at retirement).
+    sampler:
+        Batched PULL sampler; defaults to the tiered exact
+        :class:`BatchedBinomialSampler`.
+    rng:
+        Generator or integer seed for the shared dynamics stream.
+    states:
+        Batched internal protocol state: arrays with a leading replica axis,
+        e.g. from :func:`stack_states`. Defaults to stacking R fresh
+        ``protocol.init_state`` draws. The engine owns the dict (it compacts
+        it on retirement).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        batch: BatchedPopulation,
+        *,
+        sampler: BatchedSampler | None = None,
+        rng: int | np.random.Generator | None = None,
+        states: ProtocolState | None = None,
+    ) -> None:
+        self.protocol = protocol
+        self.batch = batch
+        self.sampler = sampler if sampler is not None else BatchedBinomialSampler()
+        self.rng = as_rng(rng)
+        if states is None:
+            states = protocol.init_state_batch(batch.replicas, batch.n, self.rng)
+        self.states = states
+        self.round_index = 0
+        self._consumed = False
+        # Mirror SynchronousEngine: pin once up-front so a sloppy caller cannot
+        # start with a deviating source opinion in any replica.
+        if batch.pin_each_round:
+            batch.pin_sources()
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stability_rounds: int = 2,
+        stop_condition: Callable[[BatchedPopulation], np.ndarray] | None = None,
+    ) -> BatchRunResult:
+        """Run until every replica converged (condition held for
+        ``stability_rounds`` consecutive observations) or ``max_rounds``.
+
+        ``stop_condition`` optionally replaces the correct-consensus test; it
+        must map a :class:`BatchedPopulation` to an ``(A,)`` boolean vector
+        over its rows (e.g. :meth:`BatchedPopulation.at_consensus`).
+
+        Single-shot: retirement compacts the protocol state down to the
+        replicas that were still running, so a second ``run`` on the same
+        engine has no coherent state to resume from and is rejected. Build a
+        fresh engine (or use the sequential engine, whose ``run`` can be
+        re-entered) to continue simulating.
+        """
+        if self._consumed:
+            raise RuntimeError(
+                "BatchedEngine.run is single-shot; build a fresh engine to run again"
+            )
+        self._consumed = True
+        if max_rounds < 0:
+            raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        if stability_rounds < 1:
+            raise ValueError(f"stability_rounds must be >= 1, got {stability_rounds}")
+        condition = stop_condition or BatchedPopulation.at_correct_consensus
+
+        total = self.batch.replicas
+        converged = np.zeros(total, dtype=bool)
+        rounds = np.zeros(total, dtype=np.int64)
+        rounds_executed = np.zeros(total, dtype=np.int64)
+
+        # Compact working set: only rows still running. ``ids`` maps working
+        # row -> replica index in the full batch.
+        ids = np.arange(total)
+        work = self.batch.select(ids)
+        states = self.states
+
+        ok = condition(work)
+        streak = ok.astype(np.int64)
+        first_hit = np.where(ok, 0, -1)
+        rounds_done = 0
+
+        while True:
+            done = streak >= stability_rounds
+            if done.any():
+                retired = ids[done]
+                converged[retired] = True
+                rounds[retired] = first_hit[done]
+                rounds_executed[retired] = rounds_done
+                self.batch.opinions[retired] = work.opinions[done]
+                keep = ~done
+                states = {key: value[keep] for key, value in states.items()}
+                ids = ids[keep]
+                streak = streak[keep]
+                first_hit = first_hit[keep]
+                if ids.size:
+                    work = work.select(keep)
+            if rounds_done >= max_rounds or ids.size == 0:
+                break
+            new = self.protocol.step_batch(work, states, self.sampler, self.rng)
+            work.set_opinions(new)
+            rounds_done += 1
+            self.round_index += 1
+            ok = condition(work)
+            newly = ok & (streak == 0)
+            streak = np.where(ok, streak + 1, 0)
+            first_hit = np.where(ok, np.where(newly, rounds_done, first_hit), -1)
+
+        if ids.size:
+            self.batch.opinions[ids] = work.opinions
+            rounds[ids] = rounds_done
+            rounds_executed[ids] = rounds_done
+        self.states = states
+        self.batch.invalidate_cache()
+        return BatchRunResult(
+            converged=converged,
+            rounds=rounds,
+            rounds_executed=rounds_executed,
+            final_fractions=self.batch.fraction_ones(),
+        )
+
+
+def run_protocol_batched(
+    protocol: Protocol,
+    population: PopulationState,
+    replicas: int,
+    max_rounds: int,
+    *,
+    sampler: BatchedSampler | None = None,
+    rng: int | np.random.Generator | None = None,
+    states: ProtocolState | None = None,
+    stability_rounds: int = 2,
+) -> BatchRunResult:
+    """One-shot convenience: tile ``population`` and run the batched engine."""
+    batch = BatchedPopulation.from_population(population, replicas)
+    engine = BatchedEngine(protocol, batch, sampler=sampler, rng=rng, states=states)
+    return engine.run(max_rounds, stability_rounds=stability_rounds)

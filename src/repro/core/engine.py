@@ -69,12 +69,17 @@ class SynchronousEngine:
             population.pin_sources()
 
     def step(self) -> RoundRecord:
-        """Run one synchronous round and return its summary."""
+        """Run one synchronous round and return its summary.
+
+        Flips are counted against the *published* opinion vectors, i.e. after
+        sources are re-pinned: a source whose tentative opinion deviated but
+        was pinned straight back never changed its public output.
+        """
         x_before = self.population.fraction_ones()
         old = self.population.opinions
         new = self.protocol.step(self.population, self.state, self.sampler, self.rng)
-        flips = int(np.count_nonzero(new.astype(np.uint8) != old))
         self.population.set_opinions(new)
+        flips = int(np.count_nonzero(self.population.opinions != old))
         record = RoundRecord(
             round_index=self.round_index,
             x_before=x_before,
@@ -100,6 +105,8 @@ class SynchronousEngine:
         """
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        if stability_rounds < 1:
+            raise ValueError(f"stability_rounds must be >= 1, got {stability_rounds}")
         condition = stop_condition or PopulationState.at_correct_consensus
         trajectory = [self.population.fraction_ones()]
         flip_log: list[int] = []

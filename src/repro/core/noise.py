@@ -24,12 +24,17 @@ oscillations for any ε > 0 (measured down to ε = 1e-5). See
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .population import PopulationState
-from .sampling import Sampler
+from .sampling import BatchedBinomialSampler, Sampler
 
-__all__ = ["NoisyCountSampler", "noisy_fraction"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .batch import BatchedPopulation
+
+__all__ = ["NoisyCountSampler", "BatchedNoisyCountSampler", "noisy_fraction"]
 
 
 def noisy_fraction(x: float, epsilon: float) -> float:
@@ -73,3 +78,25 @@ class NoisyCountSampler(Sampler):
             raise ValueError(f"ell must be non-negative, got {ell}")
         x = noisy_fraction(population.fraction_ones(), self.epsilon)
         return rng.binomial(ell, x, size=(blocks, population.n))
+
+
+class BatchedNoisyCountSampler(BatchedBinomialSampler):
+    """Batched fast sampler with per-bit flip noise ε (see module docstring).
+
+    Lets the robustness sweeps (E-noise) run on the batched engine: the noise
+    model only perturbs each replica's effective one-fraction, so the batched
+    fast path is preserved.
+    """
+
+    def __init__(self, epsilon: float, method: str = "auto") -> None:
+        super().__init__(method)
+        if not 0.0 <= epsilon <= 0.5:
+            raise ValueError(f"epsilon must be in [0, 1/2], got {epsilon}")
+        self.epsilon = epsilon
+
+    def _fractions(self, batch: "BatchedPopulation") -> np.ndarray:
+        x = batch.fraction_ones()
+        return x + self.epsilon * (1.0 - 2.0 * x)
+
+    def scalar(self) -> Sampler:
+        return NoisyCountSampler(self.epsilon)

@@ -62,6 +62,12 @@ class PopulationState:
             raise ValueError("population must contain at least one source agent")
         if not np.isin(self.opinions, (0, 1)).all():
             raise ValueError("opinions must be 0/1 valued")
+        # One-count cache: ``fraction_ones`` is consulted several times per
+        # round (engine bookkeeping before/after the step, plus the binomial
+        # sampler keying on x_t), each a full reduction over ``opinions``.
+        # Every mutating method invalidates it; callers that write into
+        # ``opinions`` directly must call :meth:`invalidate_cache`.
+        self._ones_count: int | None = None
 
     # ------------------------------------------------------------------ views
 
@@ -80,10 +86,16 @@ class PopulationState:
 
     def fraction_ones(self) -> float:
         """``x_t``: the fraction of agents (sources included) with opinion 1."""
-        return float(self.opinions.mean())
+        return self.count_ones() / self.n
 
     def count_ones(self) -> int:
-        return int(self.opinions.sum())
+        if self._ones_count is None:
+            self._ones_count = int(self.opinions.sum())
+        return self._ones_count
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached one-count after a direct write into ``opinions``."""
+        self._ones_count = None
 
     # -------------------------------------------------------------- mutation
 
@@ -100,14 +112,18 @@ class PopulationState:
         if new_opinions.shape != self.opinions.shape:
             raise ValueError("opinion vector shape mismatch")
         self.opinions = new_opinions
+        self.invalidate_cache()
         if self.pin_each_round:
             self.pin_sources()
 
     def pin_sources(self) -> None:
         """Force every source agent's opinion to its preference bit."""
         self.opinions[self.source_mask] = self.source_preferences[self.source_mask]
+        self.invalidate_cache()
 
-    def adversarial_opinions(self, opinions: np.ndarray, *, pin_sources: bool = True) -> None:
+    def adversarial_opinions(
+        self, opinions: np.ndarray, *, pin_sources: bool = True, validate: bool = True
+    ) -> None:
         """Install an adversarial opinion configuration.
 
         By default sources are re-pinned (the adversary "may initially set a
@@ -116,13 +132,18 @@ class PopulationState:
         pinning). Passing ``pin_sources=False`` reproduces the impossibility
         construction of Section 1.2, in which the adversary also controls the
         opinions that conflicted sources publicly display.
+
+        ``validate=False`` skips the O(n) 0/1 check — for initializers whose
+        vectors are 0/1 by construction, where the check would otherwise
+        dominate many-trial setup.
         """
         opinions = np.asarray(opinions, dtype=np.uint8)
         if opinions.shape != self.opinions.shape:
             raise ValueError("opinion vector shape mismatch")
-        if not np.isin(opinions, (0, 1)).all():
+        if validate and not np.isin(opinions, (0, 1)).all():
             raise ValueError("opinions must be 0/1 valued")
         self.opinions = opinions.copy()
+        self.invalidate_cache()
         if pin_sources:
             self.pin_sources()
 
@@ -145,13 +166,16 @@ class PopulationState:
         return float((nonsource == self.correct_opinion).mean())
 
     def copy(self) -> "PopulationState":
-        return PopulationState(
-            opinions=self.opinions.copy(),
-            source_mask=self.source_mask.copy(),
-            source_preferences=self.source_preferences.copy(),
-            correct_opinion=self.correct_opinion,
-            pin_each_round=self.pin_each_round,
-        )
+        # Valid by construction — skip __post_init__'s O(n) re-validation,
+        # which matters when a harness copies one template per trial.
+        new = object.__new__(PopulationState)
+        new.opinions = self.opinions.copy()
+        new.source_mask = self.source_mask.copy()
+        new.source_preferences = self.source_preferences.copy()
+        new.correct_opinion = self.correct_opinion
+        new.pin_each_round = self.pin_each_round
+        new._ones_count = self._ones_count
+        return new
 
 
 def make_population(

@@ -19,12 +19,15 @@ adversarial initialization unless stated otherwise.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from .population import PopulationState
-from .sampling import Sampler
+from .sampling import BatchedSampler, Sampler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .batch import BatchedPopulation
 
 __all__ = ["Protocol", "ProtocolState"]
 
@@ -47,6 +50,11 @@ class Protocol(ABC):
 
     name: str = "protocol"
     passive: bool = True
+    #: ``True`` when :meth:`step_batch` is a genuinely vectorized override
+    #: that advances all replicas with O(1) numpy calls; protocols that rely
+    #: on the generic per-replica fallback leave it ``False`` so dispatchers
+    #: (``run_trials(engine="auto")``) know the batched path is a fast path.
+    batch_vectorized: bool = False
 
     @abstractmethod
     def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
@@ -64,6 +72,34 @@ class Protocol(ABC):
         """
         return self.init_state(n, rng)
 
+    def init_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        """Clean initial state for ``replicas`` independent replicas.
+
+        Arrays gain a leading replica axis (``(R, *per_replica_shape)``).
+        The generic fallback stacks per-replica :meth:`init_state` draws;
+        protocols on the batched fast path override with one vectorized draw.
+        """
+        first = self.init_state(n, rng)
+        if not first:
+            return {}
+        rest = [self.init_state(n, rng) for _ in range(replicas - 1)]
+        return {key: np.stack([first[key]] + [state[key] for state in rest]) for key in first}
+
+    def randomize_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        """Adversarial random state for ``replicas`` independent replicas.
+
+        Same layout contract as :meth:`init_state_batch`.
+        """
+        first = self.randomize_state(n, rng)
+        if not first:
+            return {}
+        rest = [self.randomize_state(n, rng) for _ in range(replicas - 1)]
+        return {key: np.stack([first[key]] + [state[key] for state in rest]) for key in first}
+
     @abstractmethod
     def step(
         self,
@@ -80,6 +116,40 @@ class Protocol(ABC):
         round ``t+1``. The engine installs the returned opinions and re-pins
         sources, so protocols may uniformly update everyone.
         """
+
+    def step_batch(
+        self,
+        batch: "BatchedPopulation",
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Execute one synchronous round for every replica of a batch.
+
+        ``states`` holds this protocol's state arrays with a leading replica
+        axis (shape ``(A, *per_replica_shape)``); the method mutates them to
+        their round-``t+1`` values and returns the ``(A, n)`` tentative
+        opinion matrix. The batched engine installs the returned opinions and
+        re-pins sources in every row.
+
+        The default implementation is a generic per-replica fallback that
+        drives each row through the scalar :meth:`step` with the sampler's
+        single-replica equivalent — correct for every protocol, but it keeps
+        the per-replica Python cost. Vectorized overrides advance all
+        replicas at once (numpy broadcasting makes the scalar body work
+        nearly verbatim on ``(A, n)`` arrays) and set
+        ``batch_vectorized = True``.
+        """
+        scalar = sampler.scalar()
+        out = np.empty_like(batch.opinions)
+        for r in range(batch.replicas):
+            replica_state = {key: value[r] for key, value in states.items()}
+            out[r] = self.step(batch.replica(r), replica_state, scalar, rng)
+            # Scalar steps may rebind state entries rather than mutate them in
+            # place (FET does); fold the results back into the batched arrays.
+            for key in states:
+                states[key][r] = replica_state[key]
+        return out
 
     # ------------------------------------------------------------ accounting
 

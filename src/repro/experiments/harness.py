@@ -1,8 +1,23 @@
 """Multi-trial experiment harness.
 
-Runs many independent trials of a protocol from a chosen initializer, each on
-its own spawned RNG stream, and aggregates convergence statistics. This is
-the workhorse behind every benchmark table.
+Runs many independent trials of a protocol from a chosen initializer and
+aggregates convergence statistics. This is the workhorse behind every
+benchmark table.
+
+Two execution engines are available (``engine=`` keyword):
+
+* ``"sequential"`` — one :class:`SynchronousEngine` per trial, each on its own
+  spawned RNG stream. Required by consumers that need per-trial trajectories
+  or flip logs (``keep_results=True``).
+* ``"batched"`` — all trials as one ``(R, n)`` system on the
+  :class:`~repro.core.batch.BatchedEngine`: initial configurations are built
+  per trial on the *same* spawned streams as the sequential path (so the
+  initial-condition distribution is bitwise identical), then all replicas
+  advance in lock-step and retire individually on convergence. Statistically
+  equivalent, several times faster for many-trial sweeps.
+* ``"auto"`` (default) — batched when the protocol ships a vectorized
+  ``step_batch`` (``Protocol.batch_vectorized``) and nothing forces the
+  sequential path; sequential otherwise.
 """
 
 from __future__ import annotations
@@ -12,12 +27,13 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.batch import BatchedEngine, BatchedPopulation, stack_states
 from ..core.engine import SynchronousEngine
 from ..core.population import PopulationState, make_population
 from ..core.protocol import Protocol
 from ..core.records import RunResult
 from ..core.rng import spawn_rngs
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedBinomialSampler, BatchedSampler, Sampler
 from ..initializers.standard import Initializer
 from ..stats.summary import TimesSummary, describe_times, wilson_interval
 
@@ -36,6 +52,7 @@ class TrialStats:
     successes: int
     times: np.ndarray  # convergence rounds of the successful trials
     results: list[RunResult] = field(default_factory=list, repr=False)
+    engine: str = "sequential"  # which execution engine produced the stats
 
     @property
     def success_rate(self) -> float:
@@ -79,15 +96,56 @@ def run_trials(
     population_factory: Callable[[], PopulationState] | None = None,
     stability_rounds: int = 2,
     keep_results: bool = False,
+    engine: str = "auto",
+    batched_sampler: BatchedSampler | None = None,
 ) -> TrialStats:
     """Run ``trials`` independent runs and aggregate their outcomes.
 
-    Each trial builds a fresh population and protocol (factories keep trials
-    independent even for stateful protocols), applies ``initializer`` under
-    its own RNG stream, and runs to convergence or ``max_rounds``.
+    Each trial builds a fresh population (factories keep trials independent
+    even for stateful protocols), applies ``initializer`` under its own RNG
+    stream, and runs to convergence or ``max_rounds`` — on the per-trial
+    sequential engine or the lock-step batched engine, per ``engine`` (see
+    the module docstring). ``batched_sampler`` supplies the batched
+    observation model when ``sampler_factory`` customizes the sequential one
+    (e.g. :class:`~repro.core.noise.BatchedNoisyCountSampler` to pair with
+    :class:`~repro.core.noise.NoisyCountSampler`).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if engine not in ("auto", "batched", "sequential"):
+        raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {engine!r}")
+    if engine == "batched":
+        if keep_results:
+            raise ValueError(
+                "keep_results needs per-trial trajectories; use the sequential engine"
+            )
+        if sampler_factory is not None and batched_sampler is None:
+            raise ValueError(
+                "a custom sampler_factory needs a matching batched_sampler "
+                "for the batched engine"
+            )
+    probe: Protocol | None = None
+    use_batched = engine == "batched"
+    if (
+        engine == "auto"
+        and not keep_results
+        and (sampler_factory is None or batched_sampler is not None)
+    ):
+        probe = protocol_factory()
+        use_batched = probe.batch_vectorized
+    if use_batched:
+        return _run_trials_batched(
+            probe if probe is not None else protocol_factory(),
+            n,
+            initializer,
+            trials=trials,
+            max_rounds=max_rounds,
+            seed=seed,
+            correct_opinion=correct_opinion,
+            batched_sampler=batched_sampler,
+            population_factory=population_factory,
+            stability_rounds=stability_rounds,
+        )
     rngs = spawn_rngs(seed, trials)
     times: list[int] = []
     successes = 0
@@ -102,14 +160,14 @@ def run_trials(
         )
         state = protocol.init_state(population.n, rng)
         initializer(population, protocol, state, rng)
-        engine = SynchronousEngine(
+        trial_engine = SynchronousEngine(
             protocol,
             population,
             sampler=sampler_factory() if sampler_factory is not None else None,
             rng=rng,
             state=state,
         )
-        result = engine.run(max_rounds, stability_rounds=stability_rounds)
+        result = trial_engine.run(max_rounds, stability_rounds=stability_rounds)
         if result.converged:
             successes += 1
             times.append(result.rounds)
@@ -124,4 +182,75 @@ def run_trials(
         successes=successes,
         times=np.asarray(times, dtype=float),
         results=results,
+        engine="sequential",
+    )
+
+
+def _run_trials_batched(
+    protocol: Protocol,
+    n: int,
+    initializer: Initializer,
+    *,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    correct_opinion: int,
+    batched_sampler: BatchedSampler | None,
+    population_factory: Callable[[], PopulationState] | None,
+    stability_rounds: int,
+) -> TrialStats:
+    """All trials as one ``(R, n)`` system on the batched engine.
+
+    With a batch-capable initializer and the default population layout, the
+    whole initial batch is built with vectorized draws (one stream for
+    initialization, one for the lock-step dynamics). Otherwise initial
+    configurations are built per trial on the same spawned streams the
+    sequential path uses, so the initial-condition distribution matches it
+    bitwise. One protocol instance serves the whole batch — valid because
+    protocol instances hold round configuration only, with all per-agent
+    state in the state dict (the :class:`~repro.core.protocol.Protocol`
+    contract).
+    """
+    if initializer.supports_batch and population_factory is None:
+        init_rng, batch_rng = spawn_rngs(seed, 2)
+        template = make_population(n, correct_opinion)
+        batch = BatchedPopulation.from_population(template, trials)
+        batch_states = protocol.init_state_batch(trials, n, init_rng)
+        initializer.apply_batch(batch, protocol, batch_states, init_rng)
+    else:
+        rngs = spawn_rngs(seed, trials + 1)
+        batch_rng = rngs[-1]
+        template = None
+        populations: list[PopulationState] = []
+        states = []
+        for rng in rngs[:trials]:
+            if population_factory is not None:
+                population = population_factory()
+            else:
+                if template is None:
+                    template = make_population(n, correct_opinion)
+                population = template.copy()
+            state = protocol.init_state(population.n, rng)
+            initializer(population, protocol, state, rng)
+            populations.append(population)
+            states.append(state)
+        batch = BatchedPopulation.from_populations(populations)
+        batch_states = stack_states(states)
+    engine = BatchedEngine(
+        protocol,
+        batch,
+        sampler=batched_sampler if batched_sampler is not None else BatchedBinomialSampler(),
+        rng=batch_rng,
+        states=batch_states,
+    )
+    result = engine.run(max_rounds, stability_rounds=stability_rounds)
+    return TrialStats(
+        protocol_name=protocol.name,
+        initializer_name=initializer.name,
+        n=n,
+        trials=trials,
+        max_rounds=max_rounds,
+        successes=result.successes,
+        times=result.times(),
+        engine="batched",
     )

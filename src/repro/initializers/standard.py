@@ -8,7 +8,11 @@ classes; the crafted worst-case constructions live in
 
 Every initializer is a callable ``(population, protocol, state, rng) -> None``
 mutating its arguments in place; :class:`Initializer` provides the naming
-plumbing used by benchmark tables.
+plumbing used by benchmark tables. The standard classes additionally support
+*batched* application (``supports_batch`` / :meth:`Initializer.apply_batch`):
+one call initializes every replica of a
+:class:`~repro.core.batch.BatchedPopulation` with vectorized draws, which
+keeps many-trial setup off the per-trial Python path.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
 
@@ -34,6 +39,10 @@ class Initializer(ABC):
     """Base class: installs opinions and/or protocol state in place."""
 
     name: str = "initializer"
+    #: ``True`` when :meth:`apply_batch` installs every replica of a batch in
+    #: one vectorized call; harnesses fall back to per-replica :meth:`apply`
+    #: otherwise.
+    supports_batch: bool = False
 
     @abstractmethod
     def apply(
@@ -44,6 +53,20 @@ class Initializer(ABC):
         rng: np.random.Generator,
     ) -> None:
         """Mutate ``population`` / ``state`` to the initial configuration."""
+
+    def apply_batch(
+        self,
+        batch: BatchedPopulation,
+        protocol: Protocol,
+        states: ProtocolState,
+        rng: np.random.Generator,
+    ) -> None:
+        """Install the initial configuration into every replica at once.
+
+        ``states`` holds the protocol's batched state (leading replica axis).
+        Only available when ``supports_batch`` is ``True``.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support batched application")
 
     def __call__(
         self,
@@ -67,23 +90,36 @@ class AllWrong(Initializer):
     """
 
     name = "all-wrong"
+    supports_batch = True
 
     def apply(self, population, protocol, state, rng) -> None:
         wrong = 1 - population.correct_opinion
         opinions = np.full(population.n, wrong, dtype=np.uint8)
-        population.adversarial_opinions(opinions)
+        population.adversarial_opinions(opinions, validate=False)
         state.update(protocol.randomize_state(population.n, rng))
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        wrong = 1 - batch.correct_opinion
+        opinions = np.full((batch.replicas, batch.n), wrong, dtype=np.uint8)
+        batch.adversarial_opinions(opinions, validate=False)
+        states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
 
 class AllCorrect(Initializer):
     """Every agent starts on the correct opinion (stability check)."""
 
     name = "all-correct"
+    supports_batch = True
 
     def apply(self, population, protocol, state, rng) -> None:
         opinions = np.full(population.n, population.correct_opinion, dtype=np.uint8)
-        population.adversarial_opinions(opinions)
+        population.adversarial_opinions(opinions, validate=False)
         state.update(protocol.randomize_state(population.n, rng))
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        opinions = np.full((batch.replicas, batch.n), batch.correct_opinion, dtype=np.uint8)
+        batch.adversarial_opinions(opinions, validate=False)
+        states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
 
 class BernoulliRandom(Initializer):
@@ -94,11 +130,17 @@ class BernoulliRandom(Initializer):
             raise ValueError(f"p must be in [0, 1], got {p}")
         self.p = p
         self.name = f"bernoulli(p={p})"
+        self.supports_batch = True
 
     def apply(self, population, protocol, state, rng) -> None:
         opinions = (rng.random(population.n) < self.p).astype(np.uint8)
-        population.adversarial_opinions(opinions)
+        population.adversarial_opinions(opinions, validate=False)
         state.update(protocol.randomize_state(population.n, rng))
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        opinions = (rng.random((batch.replicas, batch.n)) < self.p).astype(np.uint8)
+        batch.adversarial_opinions(opinions, validate=False)
+        states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
 
 class ExactFraction(Initializer):
@@ -113,6 +155,7 @@ class ExactFraction(Initializer):
             raise ValueError(f"x must be in [0, 1], got {x}")
         self.x = x
         self.name = f"fraction(x={x})"
+        self.supports_batch = True
 
     def apply(self, population, protocol, state, rng) -> None:
         n = population.n
@@ -120,14 +163,29 @@ class ExactFraction(Initializer):
         opinions = np.zeros(n, dtype=np.uint8)
         chosen = rng.choice(n, size=ones, replace=False)
         opinions[chosen] = 1
-        population.adversarial_opinions(opinions)
+        population.adversarial_opinions(opinions, validate=False)
         state.update(protocol.randomize_state(population.n, rng))
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        ones = int(round(self.x * batch.n))
+        row = np.zeros(batch.n, dtype=np.uint8)
+        row[:ones] = 1
+        # A uniform within-row shuffle of a fixed-weight row is exactly the
+        # scalar rule's "ones at uniformly random positions".
+        opinions = np.tile(row, (batch.replicas, 1))
+        rng.permuted(opinions, axis=1, out=opinions)
+        batch.adversarial_opinions(opinions, validate=False)
+        states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
 
 class RandomizeProtocolState(Initializer):
     """Leave opinions untouched; randomize only the internal protocol state."""
 
     name = "randomize-state"
+    supports_batch = True
 
     def apply(self, population, protocol, state, rng) -> None:
         state.update(protocol.randomize_state(population.n, rng))
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))

@@ -28,9 +28,10 @@ import math
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["FETProtocol", "ell_for", "DEFAULT_SAMPLE_CONSTANT"]
 
@@ -57,6 +58,7 @@ class FETProtocol(Protocol):
     """
 
     passive = True
+    batch_vectorized = True
 
     def __init__(self, ell: int) -> None:
         if ell < 1:
@@ -77,6 +79,16 @@ class FETProtocol(Protocol):
     def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
         """Adversarial state: arbitrary counters in ``{0, …, ℓ}``."""
         return {"prev_count": rng.integers(0, self.ell + 1, size=n, dtype=np.int64)}
+
+    def init_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"prev_count": np.zeros((replicas, n), dtype=np.int64)}
+
+    def randomize_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"prev_count": rng.integers(0, self.ell + 1, size=(replicas, n), dtype=np.int64)}
 
     # ----------------------------------------------------------------- step
 
@@ -99,6 +111,23 @@ class FETProtocol(Protocol):
         ).astype(np.uint8)
         state["prev_count"] = count_dprime
         return new
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """All replicas at once: the scalar rule broadcast over ``(A, n)``."""
+        blocks = sampler.count_blocks(batch, self.ell, 2, rng)
+        count_prime = blocks[0]
+        prev = states["prev_count"]
+        # Tie → keep, otherwise follow the trend; phrased as two comparisons
+        # and one select to minimize full-matrix passes on the hot path.
+        new = np.where(count_prime == prev, batch.opinions, count_prime > prev)
+        states["prev_count"] = blocks[1]
+        return new.astype(np.uint8, copy=False)
 
     # ----------------------------------------------------------- accounting
 

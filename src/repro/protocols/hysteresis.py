@@ -33,9 +33,10 @@ import math
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["HysteresisFETProtocol"]
 
@@ -44,6 +45,7 @@ class HysteresisFETProtocol(Protocol):
     """FET with a symmetric dead-band on the trend comparison."""
 
     passive = True
+    batch_vectorized = True
 
     def __init__(self, ell: int, band: int) -> None:
         if ell < 1:
@@ -59,6 +61,16 @@ class HysteresisFETProtocol(Protocol):
 
     def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
         return {"prev_count": rng.integers(0, self.ell + 1, size=n, dtype=np.int64)}
+
+    def init_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"prev_count": np.zeros((replicas, n), dtype=np.int64)}
+
+    def randomize_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"prev_count": rng.integers(0, self.ell + 1, size=(replicas, n), dtype=np.int64)}
 
     def step(
         self,
@@ -78,6 +90,24 @@ class HysteresisFETProtocol(Protocol):
             np.where(count_prime < prev - self.band, np.uint8(0), opinions),
         ).astype(np.uint8)
         state["prev_count"] = count_dprime
+        return new
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        blocks = sampler.count_blocks(batch, self.ell, 2, rng)
+        count_prime = blocks[0]
+        prev = states["prev_count"]
+        new = np.where(
+            count_prime > prev + self.band,
+            np.uint8(1),
+            np.where(count_prime < prev - self.band, np.uint8(0), batch.opinions),
+        ).astype(np.uint8)
+        states["prev_count"] = blocks[1]
         return new
 
     def samples_per_round(self) -> int:

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["MajorityProtocol"]
 
@@ -23,6 +24,7 @@ class MajorityProtocol(Protocol):
     """Adopt the majority among ``k`` uniform samples (odd ``k``, ties impossible)."""
 
     passive = True
+    batch_vectorized = True
 
     def __init__(self, k: int = 3) -> None:
         if k < 1 or k % 2 == 0:
@@ -41,6 +43,16 @@ class MajorityProtocol(Protocol):
         rng: np.random.Generator,
     ) -> np.ndarray:
         counts = sampler.counts(population, self.k, rng)
+        return (2 * counts > self.k).astype(np.uint8)
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        counts = sampler.counts(batch, self.k, rng)
         return (2 * counts > self.k).astype(np.uint8)
 
     def samples_per_round(self) -> int:

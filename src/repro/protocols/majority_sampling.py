@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["MajoritySamplingProtocol"]
 
@@ -25,6 +26,7 @@ class MajoritySamplingProtocol(Protocol):
     """Adopt the majority among ℓ uniform samples; keep opinion on ties."""
 
     passive = True
+    batch_vectorized = True
 
     def __init__(self, ell: int) -> None:
         if ell < 1:
@@ -49,6 +51,20 @@ class MajoritySamplingProtocol(Protocol):
             twice > self.ell,
             np.uint8(1),
             np.where(twice < self.ell, np.uint8(0), opinions),
+        ).astype(np.uint8)
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        twice = 2 * sampler.counts(batch, self.ell, rng)
+        return np.where(
+            twice > self.ell,
+            np.uint8(1),
+            np.where(twice < self.ell, np.uint8(0), batch.opinions),
         ).astype(np.uint8)
 
     def samples_per_round(self) -> int:

@@ -27,9 +27,10 @@ import math
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["OracleClockProtocol"]
 
@@ -46,6 +47,7 @@ class OracleClockProtocol(Protocol):
     """
 
     passive = True
+    batch_vectorized = True
 
     def __init__(self, n_hint: int, ell: int = 1) -> None:
         if n_hint < 2:
@@ -62,6 +64,16 @@ class OracleClockProtocol(Protocol):
 
     def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
         return {"clock": np.array([rng.integers(0, self.period)], dtype=np.int64)}
+
+    def init_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"clock": np.zeros((replicas, 1), dtype=np.int64)}
+
+    def randomize_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"clock": rng.integers(0, self.period, size=(replicas, 1), dtype=np.int64)}
 
     def step(
         self,
@@ -83,6 +95,23 @@ class OracleClockProtocol(Protocol):
             new = np.where(saw_one, np.uint8(1), opinions)
         state["clock"][0] = t + 1
         return new.astype(np.uint8)
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        clocks = states["clock"][:, 0]  # (A,) per-replica oracle clocks
+        in_zero_subphase = (clocks % self.period) < self.subphase_len
+        counts = sampler.counts(batch, self.ell, rng)
+        opinions = batch.opinions
+        zero_rule = np.where(counts < self.ell, np.uint8(0), opinions)
+        one_rule = np.where(counts > 0, np.uint8(1), opinions)
+        new = np.where(in_zero_subphase[:, None], zero_rule, one_rule).astype(np.uint8)
+        states["clock"][:, 0] = clocks + 1
+        return new
 
     def samples_per_round(self) -> int:
         return self.ell

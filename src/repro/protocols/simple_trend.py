@@ -17,9 +17,10 @@ import math
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["SimpleTrendProtocol"]
 
@@ -28,6 +29,7 @@ class SimpleTrendProtocol(Protocol):
     """Single-counter trend following (ℓ samples per round)."""
 
     passive = True
+    batch_vectorized = True
 
     def __init__(self, ell: int) -> None:
         if ell < 1:
@@ -40,6 +42,16 @@ class SimpleTrendProtocol(Protocol):
 
     def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
         return {"prev_count": rng.integers(0, self.ell + 1, size=n, dtype=np.int64)}
+
+    def init_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"prev_count": np.zeros((replicas, n), dtype=np.int64)}
+
+    def randomize_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"prev_count": rng.integers(0, self.ell + 1, size=(replicas, n), dtype=np.int64)}
 
     def step(
         self,
@@ -57,6 +69,23 @@ class SimpleTrendProtocol(Protocol):
             np.where(count < prev, np.uint8(0), opinions),
         ).astype(np.uint8)
         state["prev_count"] = count
+        return new
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        count = sampler.counts(batch, self.ell, rng)
+        prev = states["prev_count"]
+        new = np.where(
+            count > prev,
+            np.uint8(1),
+            np.where(count < prev, np.uint8(0), batch.opinions),
+        ).astype(np.uint8)
+        states["prev_count"] = count
         return new
 
     def samples_per_round(self) -> int:

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["UndecidedStateProtocol"]
 
@@ -31,6 +32,7 @@ class UndecidedStateProtocol(Protocol):
     """One-sample undecided-state dynamics under passive communication."""
 
     passive = True
+    batch_vectorized = True
     name = "undecided-state"
 
     def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
@@ -38,6 +40,16 @@ class UndecidedStateProtocol(Protocol):
 
     def randomize_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
         return {"undecided": rng.integers(0, 2, size=n).astype(bool)}
+
+    def init_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"undecided": np.zeros((replicas, n), dtype=bool)}
+
+    def randomize_state_batch(
+        self, replicas: int, n: int, rng: np.random.Generator
+    ) -> ProtocolState:
+        return {"undecided": rng.integers(0, 2, size=(replicas, n)).astype(bool)}
 
     def step(
         self,
@@ -60,6 +72,20 @@ class UndecidedStateProtocol(Protocol):
 
         state["undecided"] = new_undecided
         return new_opinions
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        seen = (sampler.counts(batch, 1, rng) > 0).astype(np.uint8)
+        opinions = batch.opinions
+        undecided = states["undecided"]
+        disagree = seen != opinions
+        states["undecided"] = np.where(undecided, False, disagree)
+        return np.where(undecided, seen, opinions).astype(np.uint8)
 
     def samples_per_round(self) -> int:
         return 1

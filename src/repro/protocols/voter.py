@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import Sampler
+from ..core.sampling import BatchedSampler, Sampler
 
 __all__ = ["VoterProtocol"]
 
@@ -25,6 +26,7 @@ class VoterProtocol(Protocol):
     """Copy one uniformly random agent's opinion each round."""
 
     passive = True
+    batch_vectorized = True
     name = "voter"
 
     def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
@@ -40,6 +42,16 @@ class VoterProtocol(Protocol):
         # One sample per agent; the sampled opinion is Bernoulli(x) under
         # uniform-with-replacement sampling, i.e. counts with ell = 1.
         seen = sampler.counts(population, 1, rng)
+        return (seen > 0).astype(np.uint8)
+
+    def step_batch(
+        self,
+        batch: BatchedPopulation,
+        states: ProtocolState,
+        sampler: BatchedSampler,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        seen = sampler.counts(batch, 1, rng)
         return (seen > 0).astype(np.uint8)
 
     def samples_per_round(self) -> int:

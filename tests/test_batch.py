@@ -1,0 +1,472 @@
+"""Batched engine: unit semantics plus batched-vs-sequential equivalence.
+
+The batched path must be *exact in distribution*: same success rates, same
+convergence-time distribution, same retirement semantics as running one
+:class:`SynchronousEngine` per trial. The equivalence tests here compare the
+two engines on shared seeds at KS/CI level (the dynamics consume different
+streams, so outcomes are statistically — not bitwise — identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.batch import (
+    BatchedEngine,
+    BatchedPopulation,
+    run_protocol_batched,
+    stack_states,
+)
+from repro.core.population import make_population
+from repro.core.protocol import Protocol
+from repro.core.rng import make_rng
+from repro.core.sampling import BatchedBinomialSampler, BinomialCountSampler
+from repro.experiments.harness import run_trials
+from repro.initializers.standard import AllWrong, BernoulliRandom, ExactFraction
+from repro.protocols.fet import FETProtocol
+from repro.protocols.majority_sampling import MajoritySamplingProtocol
+from repro.protocols.simple_trend import SimpleTrendProtocol
+from repro.protocols.voter import VoterProtocol
+
+
+class GrowOneProtocol(Protocol):
+    """Deterministic test protocol: one more agent adopts 1 each round.
+
+    Replicas starting with more ones reach the all-ones consensus earlier, so
+    a batch retires in a staggered, exactly predictable order.
+    """
+
+    name = "grow-one"
+    batch_vectorized = True
+
+    def init_state(self, n, rng):
+        return {}
+
+    def step(self, population, state, sampler, rng):
+        new = population.opinions.copy()
+        zeros = np.nonzero(new == 0)[0]
+        if zeros.size:
+            new[zeros[0]] = 1
+        return new
+
+    def step_batch(self, batch, states, sampler, rng):
+        new = batch.opinions.copy()
+        for row in new:  # deterministic, test-only; clarity over speed
+            zeros = np.nonzero(row == 0)[0]
+            if zeros.size:
+                row[zeros[0]] = 1
+        return new
+
+
+class FlipAllProtocol(Protocol):
+    """Inverts every opinion every round — never converges, never idles."""
+
+    name = "flip-all"
+    batch_vectorized = True
+
+    def init_state(self, n, rng):
+        return {}
+
+    def step(self, population, state, sampler, rng):
+        return (1 - population.opinions).astype(np.uint8)
+
+    def step_batch(self, batch, states, sampler, rng):
+        return (1 - batch.opinions).astype(np.uint8)
+
+
+class TestBatchedPopulation:
+    def test_from_population_tiles(self):
+        pop = make_population(10, 1)
+        batch = BatchedPopulation.from_population(pop, 4)
+        assert batch.replicas == 4 and batch.n == 10
+        assert np.array_equal(batch.opinions, np.tile(pop.opinions, (4, 1)))
+
+    def test_from_populations_requires_shared_structure(self):
+        a = make_population(10, 1)
+        b = make_population(10, 1, num_sources=2)
+        with pytest.raises(ValueError):
+            BatchedPopulation.from_populations([a, b])
+
+    def test_per_replica_predicates(self):
+        pop = make_population(4, 1)
+        batch = BatchedPopulation.from_population(pop, 3)
+        batch.opinions[0] = [1, 1, 1, 1]
+        batch.opinions[1] = [1, 0, 0, 0]
+        batch.opinions[2] = [1, 1, 0, 0]
+        batch.invalidate_cache()
+        assert np.array_equal(batch.at_correct_consensus(), [True, False, False])
+        assert np.array_equal(batch.fraction_ones(), [1.0, 0.25, 0.5])
+        assert np.array_equal(batch.at_consensus(), [True, False, False])
+
+    def test_pin_sources_every_row(self):
+        pop = make_population(6, 1)
+        batch = BatchedPopulation.from_population(pop, 3)
+        batch.set_opinions(np.zeros((3, 6), dtype=np.uint8))
+        assert (batch.opinions[:, 0] == 1).all()
+
+    def test_select_rows_and_cache(self):
+        pop = make_population(5, 1)
+        batch = BatchedPopulation.from_population(pop, 4)
+        batch.opinions[2] = 1
+        batch.invalidate_cache()
+        counts = batch.count_ones()
+        sub = batch.select(np.array([2, 3]))
+        assert sub.replicas == 2
+        assert np.array_equal(sub.count_ones(), counts[[2, 3]])
+
+    def test_replica_view_snapshot(self):
+        pop = make_population(5, 1)
+        batch = BatchedPopulation.from_population(pop, 2)
+        view = batch.replica(1)
+        assert view.n == 5
+        assert np.shares_memory(view.opinions, batch.opinions)
+
+    def test_rejects_non_binary(self):
+        pop = make_population(5, 1)
+        with pytest.raises(ValueError):
+            BatchedPopulation(
+                opinions=np.full((2, 5), 3, dtype=np.uint8),
+                source_mask=pop.source_mask,
+                source_preferences=pop.source_preferences,
+                correct_opinion=1,
+            )
+
+    def test_stack_states_shapes(self):
+        states = [{"a": np.arange(3)} for _ in range(4)]
+        stacked = stack_states(states)
+        assert stacked["a"].shape == (4, 3)
+        assert stack_states([{} for _ in range(4)]) == {}
+
+
+class TestBatchedEngineSemantics:
+    def test_validates_stability_rounds(self):
+        pop = make_population(10, 1)
+        engine = BatchedEngine(FlipAllProtocol(), BatchedPopulation.from_population(pop, 2), rng=0)
+        with pytest.raises(ValueError):
+            engine.run(10, stability_rounds=0)
+
+    def test_validates_max_rounds(self):
+        pop = make_population(10, 1)
+        engine = BatchedEngine(FlipAllProtocol(), BatchedPopulation.from_population(pop, 2), rng=0)
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+    def test_run_is_single_shot(self):
+        # Retirement compacts the state arrays, so a second run has nothing
+        # coherent to resume from — the engine must refuse, not crash.
+        pop = make_population(10, 1)
+        engine = BatchedEngine(GrowOneProtocol(), BatchedPopulation.from_population(pop, 2), rng=0)
+        engine.run(100)
+        with pytest.raises(RuntimeError):
+            engine.run(100)
+
+    def test_staggered_retirement_rounds(self):
+        # Replica r starts with r+1 ones (sources included); grow-one reaches
+        # all-ones after n - (r+1) rounds, which is t_con with stability 1.
+        n, replicas = 8, 5
+        pop = make_population(n, 1)
+        batch = BatchedPopulation.from_population(pop, replicas)
+        for r in range(replicas):
+            batch.opinions[r, : r + 1] = 1
+        batch.invalidate_cache()
+        engine = BatchedEngine(GrowOneProtocol(), batch, rng=0)
+        result = engine.run(100, stability_rounds=1)
+        assert result.converged.all()
+        expected = [n - (r + 1) for r in range(replicas)]
+        assert result.rounds.tolist() == expected
+        assert result.rounds_executed.tolist() == expected
+
+    def test_retired_replica_state_frozen(self):
+        # Replica 0 starts at correct consensus and retires at round 0 with
+        # stability 1 — before any step. flip-all would destroy its consensus
+        # on the very first step, so an unchanged final state proves the
+        # active-mask actually removed it from the dynamics.
+        pop = make_population(6, 1)
+        batch = BatchedPopulation.from_population(pop, 2)
+        batch.opinions[0] = 1
+        # a mixed row stays mixed under flip-all (+ re-pin), so it never
+        # reaches any consensus
+        batch.opinions[1] = [1, 1, 0, 0, 0, 0]
+        batch.invalidate_cache()
+        engine = BatchedEngine(FlipAllProtocol(), batch, rng=0)
+        result = engine.run(7, stability_rounds=1)
+        assert result.converged.tolist() == [True, False]
+        assert result.rounds.tolist() == [0, 7]
+        assert (engine.batch.opinions[0] == 1).all()
+        # the live replica kept flipping (odd number of rounds, source re-pinned)
+        assert not (engine.batch.opinions[1] == engine.batch.opinions[0]).all()
+
+    def test_stability_window_matches_sequential_accounting(self):
+        # grow-one with stability 2: t_con is still the first all-correct
+        # round; the extra confirmation round only delays retirement.
+        n = 6
+        pop = make_population(n, 1)
+        batch = BatchedPopulation.from_population(pop, 1)
+        engine = BatchedEngine(GrowOneProtocol(), batch, rng=0)
+        result = engine.run(100, stability_rounds=2)
+        assert result.converged.all()
+        assert result.rounds[0] == n - 1
+        assert result.rounds_executed[0] == n  # one confirmation round more
+
+    def test_non_converged_reports_max_rounds(self):
+        pop = make_population(6, 1)
+        result = run_protocol_batched(FlipAllProtocol(), pop, 3, 9, rng=0)
+        assert not result.converged.any()
+        assert (result.rounds == 9).all()
+        assert (result.rounds_executed == 9).all()
+
+    def test_generic_fallback_matches_vectorized_distribution(self):
+        # Drive FET once through its vectorized step_batch and once through
+        # the generic per-replica fallback; outcomes must agree statistically.
+        def run(force_fallback: bool) -> np.ndarray:
+            protocol = FETProtocol(16)
+            if force_fallback:
+                protocol.step_batch = (  # type: ignore[method-assign]
+                    lambda *args: Protocol.step_batch(protocol, *args)
+                )
+            pop = make_population(120, 1)
+            batch = BatchedPopulation.from_population(pop, 64)
+            rng = make_rng(5)
+            states = protocol.randomize_state_batch(64, 120, rng)
+            engine = BatchedEngine(protocol, batch, rng=rng, states=states)
+            return engine.run(400).rounds
+
+        # KS on convergence rounds; both paths must see the same dynamics law
+        a, b = run(False), run(True)
+        assert scipy_stats.ks_2samp(a, b).pvalue > 1e-3
+
+
+def _times(stats):
+    return np.asarray(stats.times, dtype=float)
+
+
+class TestEngineEquivalence:
+    """Batched vs sequential: success rates and time distributions agree."""
+
+    def check(self, factory, n, initializer, *, trials, max_rounds, seed, sampler=None,
+              batched_sampler=None, expect_success=None):
+        seq = run_trials(
+            factory, n, initializer, trials=trials, max_rounds=max_rounds, seed=seed,
+            engine="sequential", sampler_factory=sampler,
+        )
+        bat = run_trials(
+            factory, n, initializer, trials=trials, max_rounds=max_rounds, seed=seed,
+            engine="batched", batched_sampler=batched_sampler,
+            sampler_factory=sampler,
+        )
+        assert bat.engine == "batched" and seq.engine == "sequential"
+        # success-rate agreement at CI level (overlapping Wilson intervals)
+        lo_s, hi_s = seq.success_interval
+        lo_b, hi_b = bat.success_interval
+        assert max(lo_s, lo_b) <= min(hi_s, hi_b), (
+            f"success CIs disjoint: seq [{lo_s:.3f},{hi_s:.3f}] vs bat [{lo_b:.3f},{hi_b:.3f}]"
+        )
+        if expect_success is not None:
+            assert seq.success_rate == expect_success
+            assert bat.success_rate == expect_success
+        ts, tb = _times(seq), _times(bat)
+        if ts.size > 30 and tb.size > 30:
+            assert scipy_stats.ks_2samp(ts, tb).pvalue > 1e-3
+        return seq, bat
+
+    def test_fet_equivalent(self):
+        self.check(
+            lambda: FETProtocol(24), 300, AllWrong(),
+            trials=300, max_rounds=1500, seed=11, expect_success=1.0,
+        )
+
+    def test_fet_random_start_equivalent(self):
+        self.check(
+            lambda: FETProtocol(24), 300, BernoulliRandom(0.5),
+            trials=300, max_rounds=1500, seed=12, expect_success=1.0,
+        )
+
+    def test_simple_trend_equivalent(self):
+        self.check(
+            lambda: SimpleTrendProtocol(24), 300, AllWrong(),
+            trials=200, max_rounds=1500, seed=13, expect_success=1.0,
+        )
+
+    def test_voter_equivalent(self):
+        # Small n so the voter's polynomial escape is reachable; compare the
+        # full outcome distribution, successes and failures alike.
+        self.check(
+            lambda: VoterProtocol(), 24, BernoulliRandom(0.5),
+            trials=300, max_rounds=400, seed=14,
+        )
+
+    def test_majority_sampling_equivalent(self):
+        # Correct-majority random start: sample-majority amplifies to the
+        # correct consensus quickly.
+        self.check(
+            lambda: MajoritySamplingProtocol(24), 300, BernoulliRandom(0.75),
+            trials=300, max_rounds=400, seed=15, expect_success=1.0,
+        )
+
+    def test_majority_sampling_lockin_equivalent(self):
+        # All-wrong start: both engines must agree the protocol fails.
+        seq, bat = self.check(
+            lambda: MajoritySamplingProtocol(24), 300, AllWrong(),
+            trials=60, max_rounds=120, seed=16,
+        )
+        assert seq.successes == 0 and bat.successes == 0
+
+    def test_exact_fraction_equivalent(self):
+        self.check(
+            lambda: FETProtocol(24), 300, ExactFraction(0.7),
+            trials=200, max_rounds=1500, seed=17, expect_success=1.0,
+        )
+
+
+class TestRunTrialsDispatch:
+    def test_auto_uses_batched_for_vectorized_protocol(self):
+        stats = run_trials(
+            lambda: FETProtocol(16), 100, AllWrong(), trials=8, max_rounds=400, seed=0
+        )
+        assert stats.engine == "batched"
+
+    def test_auto_falls_back_for_keep_results(self):
+        stats = run_trials(
+            lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400, seed=0,
+            keep_results=True,
+        )
+        assert stats.engine == "sequential"
+        assert len(stats.results) == 4
+
+    def test_auto_falls_back_for_custom_sampler(self):
+        stats = run_trials(
+            lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400, seed=0,
+            sampler_factory=BinomialCountSampler,
+        )
+        assert stats.engine == "sequential"
+
+    def test_batched_rejects_keep_results(self):
+        with pytest.raises(ValueError):
+            run_trials(
+                lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400,
+                seed=0, engine="batched", keep_results=True,
+            )
+
+    def test_batched_rejects_unpaired_sampler(self):
+        with pytest.raises(ValueError):
+            run_trials(
+                lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400,
+                seed=0, engine="batched", sampler_factory=BinomialCountSampler,
+            )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(
+                lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400,
+                seed=0, engine="turbo",
+            )
+
+    def test_batched_reproducible(self):
+        kwargs = dict(trials=16, max_rounds=500, seed=42, engine="batched")
+        a = run_trials(lambda: FETProtocol(24), 300, AllWrong(), **kwargs)
+        b = run_trials(lambda: FETProtocol(24), 300, AllWrong(), **kwargs)
+        assert np.array_equal(a.times, b.times)
+
+    def test_batched_with_population_factory(self):
+        stats = run_trials(
+            lambda: FETProtocol(16), 100, AllWrong(), trials=6, max_rounds=400,
+            seed=3, engine="batched",
+            population_factory=lambda: make_population(100, 0),
+        )
+        assert stats.successes == 6
+
+    def test_non_vectorized_protocol_through_batched_api(self):
+        # clock-sync has no vectorized step_batch; the generic fallback must
+        # still run it end to end through the batched engine.
+        from repro.protocols.clock_sync import ClockSyncProtocol
+
+        stats = run_trials(
+            lambda: ClockSyncProtocol(64, 4), 64, AllWrong(),
+            trials=3, max_rounds=200, seed=4, engine="batched",
+        )
+        assert stats.engine == "batched"
+        assert stats.trials == 3
+
+
+class TestBatchedSamplerStatistics:
+    def test_methods_agree_in_distribution(self):
+        rng = make_rng(0)
+        pop = make_population(400, 1)
+        batch = BatchedPopulation.from_population(pop, 6)
+        # put replicas at assorted fractions, including consensus rows
+        fractions = [0.0, 0.05, 0.35, 0.65, 0.97, 1.0]
+        for r, x in enumerate(fractions):
+            ones = int(round(x * 400))
+            batch.opinions[r] = 0
+            batch.opinions[r, :ones] = 1
+        batch.invalidate_cache()
+        draws = {}
+        for method in ("auto", "histogram", "binomial"):
+            sampler = BatchedBinomialSampler(method)
+            draws[method] = np.concatenate(
+                [sampler.counts(batch, 20, rng) for _ in range(40)], axis=1
+            )
+        for r, x in enumerate(fractions):
+            ref = draws["binomial"][r]
+            for method in ("auto", "histogram"):
+                got = draws[method][r]
+                assert got.min() >= 0 and got.max() <= 20
+                if x in (0.0, 1.0):
+                    assert (got == (0 if x == 0.0 else 20)).all()
+                    continue
+                assert scipy_stats.ks_2samp(got, ref).pvalue > 1e-4, (r, x, method)
+
+    def test_moments_match_theory(self):
+        rng = make_rng(1)
+        x = np.array([0.02, 0.3, 0.5, 0.8, 0.995])
+        from repro.core.sampling import batched_binomial_counts
+
+        ell, n = 40, 60000
+        counts = batched_binomial_counts(rng, ell, x, 1, n)[0]
+        mean = counts.mean(axis=1)
+        var = counts.var(axis=1)
+        assert np.allclose(mean, ell * x, rtol=0.05, atol=0.05)
+        assert np.allclose(var, ell * x * (1 - x), rtol=0.1, atol=0.1)
+
+    def test_block_independence_shape(self):
+        rng = make_rng(2)
+        pop = make_population(50, 1)
+        batch = BatchedPopulation.from_population(pop, 3)
+        sampler = BatchedBinomialSampler()
+        blocks = sampler.count_blocks(batch, 7, 2, rng)
+        assert blocks.shape == (2, 3, 50)
+
+    def test_scalar_pairing(self):
+        assert isinstance(BatchedBinomialSampler().scalar(), BinomialCountSampler)
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError):
+            BatchedBinomialSampler("alias")
+
+    def test_rejects_negative_ell(self):
+        rng = make_rng(3)
+        pop = make_population(50, 1)
+        batch = BatchedPopulation.from_population(pop, 2)
+        with pytest.raises(ValueError):
+            BatchedBinomialSampler().count_blocks(batch, -1, 2, rng)
+
+
+class TestBatchedNoise:
+    def test_noisy_equivalence(self):
+        from repro.core.noise import BatchedNoisyCountSampler, NoisyCountSampler
+
+        seq = run_trials(
+            lambda: FETProtocol(24), 200, AllWrong(), trials=120, max_rounds=60,
+            seed=21, engine="sequential", sampler_factory=lambda: NoisyCountSampler(0.1),
+        )
+        bat = run_trials(
+            lambda: FETProtocol(24), 200, AllWrong(), trials=120, max_rounds=60,
+            seed=21, engine="batched", sampler_factory=lambda: NoisyCountSampler(0.1),
+            batched_sampler=BatchedNoisyCountSampler(0.1),
+        )
+        assert bat.engine == "batched"
+        lo_s, hi_s = seq.success_interval
+        lo_b, hi_b = bat.success_interval
+        assert max(lo_s, lo_b) <= min(hi_s, hi_b)

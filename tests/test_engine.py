@@ -169,3 +169,49 @@ class TestEngineWithFET:
         pairs = result.pairs()
         assert pairs.shape == (result.trajectory.size - 1, 2)
         assert np.array_equal(pairs[:, 0], result.trajectory[:-1])
+
+
+class SourceDeviatorProtocol(Protocol):
+    """Sets every opinion to 0 — including the source, which gets re-pinned."""
+
+    name = "source-deviator"
+
+    def init_state(self, n, rng):
+        return {}
+
+    def step(self, population, state, sampler, rng):
+        return np.zeros(population.n, dtype=np.uint8)
+
+
+class TestFlipAccounting:
+    def test_flips_counted_after_source_repin(self):
+        # All agents already hold 1. The protocol proposes all-zeros; the
+        # engine re-pins the source, so the *published* vector flips only the
+        # 9 non-source agents. Counting before the pin would report 10.
+        pop = make_population(10, 1)
+        pop.set_opinions(np.ones(10, dtype=np.uint8))
+        engine = SynchronousEngine(SourceDeviatorProtocol(), pop, rng=0)
+        record = engine.step()
+        assert record.flips == 9
+
+    def test_steady_source_not_a_flip(self):
+        # From the all-correct configuration a constant-correct protocol
+        # publishes an identical vector: zero flips, source included.
+        pop = make_population(10, 1)
+        pop.set_opinions(np.ones(10, dtype=np.uint8))
+        engine = SynchronousEngine(ConstantProtocol(1), pop, rng=0)
+        assert engine.step().flips == 0
+
+
+class TestStabilityValidation:
+    def test_zero_stability_rejected(self):
+        pop = make_population(10, 1)
+        engine = SynchronousEngine(ConstantProtocol(1), pop, rng=0)
+        with pytest.raises(ValueError):
+            engine.run(10, stability_rounds=0)
+
+    def test_negative_stability_rejected(self):
+        pop = make_population(10, 1)
+        engine = SynchronousEngine(ConstantProtocol(1), pop, rng=0)
+        with pytest.raises(ValueError):
+            engine.run(10, stability_rounds=-3)
