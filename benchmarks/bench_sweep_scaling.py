@@ -1,0 +1,136 @@
+"""E-sweep — wall-clock scaling of the sweep orchestrator vs ``--jobs``.
+
+Not a paper artifact: like E-throughput this benchmark tracks the simulation
+machinery itself — here the process-pool dispatch layer introduced with
+``repro.sweep``. It runs one fixed FET grid (8 cells: four population sizes
+from the two canonical starts, every cell on the batched engine) through
+:func:`repro.sweep.run_sweep` at ``jobs = 1, 2, 4``, checks the aggregate
+CSV is byte-identical across job counts (the orchestrator's ordering
+guarantee), and records wall-clock seconds plus the speedup over the serial
+run.
+
+Cells are embarrassingly parallel, so on a machine with free cores the
+speedup at 4 jobs approaches min(4, cores) times the serial throughput
+(minus pool startup and the straggler tail). The JSON records
+``cpu_count`` alongside the timings because the measurement is
+hardware-bound: on a single-core container the pool cannot beat serial
+execution, and the numbers say so honestly.
+
+Emits ``results/BENCH_sweep.json``. Run directly
+(``PYTHONPATH=src python benchmarks/bench_sweep_scaling.py``) or through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from bench_common import banner, results_path, run_once
+from repro.sweep import SweepSpec, run_sweep
+from repro.viz.tables import format_table
+
+JOB_COUNTS = (1, 2, 4)
+SEED = 20260729
+#: timing repetitions per job count; min-of-k filters scheduler noise
+REPEATS = 2
+
+
+def sweep_grid() -> SweepSpec:
+    """The fixed FET grid: 8 cells of comparable, non-trivial cost."""
+    return SweepSpec(
+        name="sweep-scaling-grid",
+        seed=SEED,
+        trials=600,
+        axes={
+            "protocol": ["fet"],
+            "n": [800, 1000, 1200, 1400],
+            "initializer": ["all-wrong", {"name": "bernoulli", "p": 0.5}],
+        },
+        max_rounds=2000,
+        engine="batched",
+    )
+
+
+def run_benchmark() -> dict:
+    spec = sweep_grid()
+    rows = []
+    csvs: dict[int, bytes] = {}
+    timings: dict[int, float] = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        for jobs in JOB_COUNTS:
+            seconds = float("inf")
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                result = run_sweep(spec, jobs=jobs)
+                seconds = min(seconds, time.perf_counter() - start)
+            path = result.write_csv(Path(scratch) / f"jobs{jobs}.csv")
+            csvs[jobs] = path.read_bytes()
+            timings[jobs] = seconds
+            rows.append(
+                {
+                    "jobs": jobs,
+                    "cells": len(result.cells),
+                    "seconds": round(seconds, 4),
+                    "cells_per_sec": round(len(result.cells) / seconds, 2),
+                }
+            )
+    for row in rows:
+        row["speedup"] = round(timings[1] / timings[row["jobs"]], 2)
+    identical = all(csvs[jobs] == csvs[1] for jobs in JOB_COUNTS)
+    return {
+        "grid": {
+            "name": spec.name,
+            "cells": rows[0]["cells"],
+            "trials_per_cell": spec.trials,
+            "ns": spec.axes["n"],
+        },
+        "cpu_count": os.cpu_count(),
+        "csv_identical_across_jobs": identical,
+        "jobs": rows,
+        "speedup_at_4_jobs": round(timings[1] / timings[4], 2),
+        "speedup_target_at_4_jobs": 2.5,  # expects >= 4 free cores
+    }
+
+
+def report(payload: dict) -> None:
+    print(banner("Sweep orchestrator — wall-clock vs --jobs (fixed FET grid)"))
+    print(
+        format_table(
+            ["jobs", "cells", "sec", "cells/s", "speedup"],
+            [
+                [row["jobs"], row["cells"], row["seconds"], row["cells_per_sec"], row["speedup"]]
+                for row in payload["jobs"]
+            ],
+        )
+    )
+    print(f"\ncpu_count={payload['cpu_count']}, "
+          f"CSV byte-identical across job counts: {payload['csv_identical_across_jobs']}")
+    print(f"speedup at 4 jobs: {payload['speedup_at_4_jobs']}x "
+          f"(hardware-bound; needs >= 4 free cores to approach 4x)")
+    path = results_path("BENCH_sweep.json")
+    path.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {path}")
+
+
+def test_sweep_scaling(benchmark):
+    payload = run_once(benchmark, run_benchmark)
+    report(payload)
+    # The correctness half of the acceptance holds everywhere: identical
+    # aggregates regardless of job count.
+    assert payload["csv_identical_across_jobs"]
+    # The performance half is hardware-bound; only assert scaling where the
+    # cores exist to scale onto. Headline target on >= 4 free cores is 2.5x;
+    # the gate floor is looser (same convention as E-throughput: 5x headline,
+    # 2x floor) so shared/noisy CI machines don't flake.
+    if payload["cpu_count"] and payload["cpu_count"] >= 4:
+        assert payload["speedup_at_4_jobs"] >= 2.0
+
+
+if __name__ == "__main__":
+    report(run_benchmark())
+    sys.exit(0)

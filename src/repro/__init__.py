@@ -14,7 +14,10 @@ Communication" (arXiv:2203.11522). The package provides:
   Observation 1, and the per-lemma dwell-time bounds
   (:mod:`repro.analysis`);
 * experiment harnesses and statistics used by the benchmark suite
-  (:mod:`repro.experiments`, :mod:`repro.stats`, :mod:`repro.viz`).
+  (:mod:`repro.experiments`, :mod:`repro.stats`, :mod:`repro.viz`);
+* the parallel sweep orchestrator (:mod:`repro.sweep`): declarative
+  experiment grids fanned out over worker processes with a persistent,
+  resumable results store — the front door is ``python -m repro sweep``.
 
 Quickstart::
 
@@ -65,8 +68,9 @@ from .protocols import (
     VoterProtocol,
     ell_for,
 )
+from .sweep import ResultsStore, SweepResult, SweepSpec, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BinomialCountSampler",
@@ -81,8 +85,11 @@ __all__ = [
     "OracleClockProtocol",
     "PopulationState",
     "Protocol",
+    "ResultsStore",
     "RunResult",
     "SimpleTrendProtocol",
+    "SweepResult",
+    "SweepSpec",
     "SynchronousEngine",
     "UndecidedStateProtocol",
     "VoterProtocol",
@@ -95,6 +102,7 @@ __all__ = [
     "make_population",
     "make_rng",
     "run_protocol",
+    "run_sweep",
     "theorem1_bound",
     "__version__",
 ]

@@ -6,6 +6,8 @@ Small, dependency-free front door for the library's main entry points:
 * ``map``    — the Figure 1a domain map for a given n.
 * ``scale``  — a quick Theorem-1 scaling sweep with exponent fit.
 * ``compare``— FET vs. the baseline protocols from the all-wrong start.
+* ``sweep``  — a declarative experiment grid (JSON spec or the built-in FET
+  demo grid) run through the parallel, resumable sweep orchestrator.
 
 Each command accepts ``--seed`` and prints plain text; exit code 0 on
 success. The heavy, assertion-carrying versions of these experiments live in
@@ -30,6 +32,7 @@ from .protocols.fet import FETProtocol, ell_for
 from .protocols.majority_sampling import MajoritySamplingProtocol
 from .protocols.oracle_clock import OracleClockProtocol
 from .protocols.voter import VoterProtocol
+from .sweep import fet_demo_spec, load_spec, run_sweep
 from .viz.ascii_grid import render_domain_map, render_trajectory
 from .viz.tables import format_table
 
@@ -54,6 +57,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     scale = sub.add_parser("scale", help="quick Theorem-1 scaling sweep")
     scale.add_argument("--trials", type=int, default=8, help="trials per size (default 8)")
+    scale.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a declarative experiment grid (parallel, resumable)"
+    )
+    sweep_cmd.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="path to a sweep spec JSON file (default: the built-in FET demo grid)",
+    )
+    sweep_cmd.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    sweep_cmd.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="JSON-lines results store: completed cells are skipped, interrupted runs resume",
+    )
+    sweep_cmd.add_argument("--out", type=str, default=None, help="write the aggregate CSV here")
+    sweep_cmd.add_argument(
+        "--force", action="store_true", help="recompute cells even when the store has them"
+    )
 
     compare = sub.add_parser("compare", help="FET vs baselines from the all-wrong start")
     compare.add_argument("-n", type=int, default=1000, help="population size (default 1000)")
@@ -91,7 +116,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 def _cmd_scale(args: argparse.Namespace) -> int:
     ns = [128, 256, 512, 1024, 2048, 4096]
-    rows = sweep_population_sizes(ns, trials=args.trials, seed=args.seed)
+    rows = sweep_population_sizes(ns, trials=args.trials, seed=args.seed, jobs=args.jobs)
     table = []
     for row in rows:
         summary = row.stats.time_summary()
@@ -135,11 +160,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
+    result = run_sweep(spec, jobs=args.jobs, store=args.store, force=args.force)
+    print(f"sweep {spec.name!r}: {len(result.cells)} cells, jobs={args.jobs}")
+    print(result.table())
+    summary = f"\nexecuted {result.executed} cell(s), {result.cached} served from store"
+    if args.store:
+        summary += f" ({args.store})"
+    print(summary)
+    if args.out:
+        path = result.write_csv(args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "map": _cmd_map,
     "scale": _cmd_scale,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
 }
 
 

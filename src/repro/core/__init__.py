@@ -27,6 +27,13 @@ The batched fast path applies to memoryless-*sampling* protocols (observation
 non-passive baselines) and consumers that record per-round trajectories or
 flip logs stay on the per-trial :class:`SynchronousEngine`;
 ``run_trials(engine="auto")`` picks the right engine per call.
+
+A third layer sits above both: one ``(R, n)`` batch saturates a single core,
+so **sweep cells** — independent (protocol, n, noise, initializer) grid
+points — fan out over worker *processes* through the sweep orchestrator
+(:mod:`repro.sweep`), each cell running this batched engine under its own
+deterministically derived seed. Vectorization scales within a cell, the
+process pool scales across cells.
 """
 
 from .batch import (

@@ -4,18 +4,28 @@
 with ``ℓ = ⌈c·ln n⌉`` — the setting of Theorem 1 — and
 ``sweep_sample_sizes`` fixes ``n`` and varies ℓ to probe the open question
 from the discussion section (can constant ℓ work?).
+
+Both drivers run on the sweep orchestrator (:mod:`repro.sweep`): each grid
+point becomes an independent cell with its own derived seed, so the sweeps
+parallelize across ``jobs`` worker processes and can persist/resume through
+a results ``store`` — while returning the same :class:`ScalingRow` shape
+they always did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from ..initializers.standard import AllWrong, Initializer
-from ..protocols.fet import DEFAULT_SAMPLE_CONSTANT, FETProtocol, ell_for
+from ..protocols.fet import DEFAULT_SAMPLE_CONSTANT, ell_for
 from ..stats.fitting import LogPowerFit, fit_log_power
-from .harness import TrialStats, run_trials
+from ..sweep.orchestrator import run_sweep
+from ..sweep.spec import SweepSpec
+from ..sweep.store import ResultsStore
+from .harness import TrialStats
 
 __all__ = ["ScalingRow", "sweep_population_sizes", "sweep_sample_sizes", "fit_scaling"]
 
@@ -37,28 +47,36 @@ def sweep_population_sizes(
     sample_constant: float = DEFAULT_SAMPLE_CONSTANT,
     initializer: Initializer | None = None,
     max_rounds_factor: float = 40.0,
+    jobs: int = 1,
+    store: ResultsStore | str | Path | None = None,
 ) -> list[ScalingRow]:
     """Measure FET convergence for each ``n`` with ``ℓ = ⌈c·ln n⌉``.
 
     ``max_rounds_factor`` scales the per-run budget as a multiple of
     ``(ln n)^{5/2}`` so that non-convergence is meaningful relative to the
-    theorem's bound rather than to an arbitrary constant.
+    theorem's bound rather than to an arbitrary constant. ``jobs`` fans the
+    per-``n`` cells out over worker processes; ``store`` makes the sweep
+    resumable (see :func:`repro.sweep.run_sweep`).
     """
     initializer = initializer if initializer is not None else AllWrong()
-    rows: list[ScalingRow] = []
-    for index, n in enumerate(ns):
-        ell = ell_for(n, sample_constant)
-        max_rounds = max(50, int(max_rounds_factor * np.log(n) ** 2.5))
-        stats = run_trials(
-            lambda ell=ell: FETProtocol(ell),
-            n,
-            initializer,
-            trials=trials,
-            max_rounds=max_rounds,
-            seed=seed + index,
-        )
-        rows.append(ScalingRow(n=n, ell=ell, stats=stats))
-    return rows
+    spec = SweepSpec(
+        name="population-scaling",
+        seed=seed,
+        trials=trials,
+        axes={
+            "protocol": [{"name": "fet", "sample_constant": sample_constant}],
+            "n": list(ns),
+            "initializer": [initializer.spec()],
+        },
+        max_rounds=None,
+        max_rounds_factor=max_rounds_factor,
+        min_rounds=50,
+    )
+    outcome = run_sweep(spec, jobs=jobs, store=store)
+    return [
+        ScalingRow(n=cell.n, ell=ell_for(cell.n, sample_constant), stats=result.stats())
+        for cell, result in zip(outcome.cells, outcome.results)
+    ]
 
 
 def sweep_sample_sizes(
@@ -69,23 +87,29 @@ def sweep_sample_sizes(
     seed: int,
     initializer: Initializer | None = None,
     max_rounds: int | None = None,
+    jobs: int = 1,
+    store: ResultsStore | str | Path | None = None,
 ) -> list[ScalingRow]:
     """Measure FET convergence at fixed ``n`` for each sample size ℓ."""
     initializer = initializer if initializer is not None else AllWrong()
     if max_rounds is None:
         max_rounds = max(200, int(40 * np.log(n) ** 2.5))
-    rows: list[ScalingRow] = []
-    for index, ell in enumerate(ells):
-        stats = run_trials(
-            lambda ell=ell: FETProtocol(ell),
-            n,
-            initializer,
-            trials=trials,
-            max_rounds=max_rounds,
-            seed=seed + index,
-        )
-        rows.append(ScalingRow(n=n, ell=ell, stats=stats))
-    return rows
+    spec = SweepSpec(
+        name="sample-size-ablation",
+        seed=seed,
+        trials=trials,
+        axes={
+            "protocol": [{"name": "fet", "ell": int(ell)} for ell in ells],
+            "n": [n],
+            "initializer": [initializer.spec()],
+        },
+        max_rounds=max_rounds,
+    )
+    outcome = run_sweep(spec, jobs=jobs, store=store)
+    return [
+        ScalingRow(n=n, ell=int(cell.protocol["ell"]), stats=result.stats())
+        for cell, result in zip(outcome.cells, outcome.results)
+    ]
 
 
 def fit_scaling(rows: list[ScalingRow], statistic: str = "median") -> LogPowerFit:

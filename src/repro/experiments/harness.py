@@ -60,6 +60,8 @@ class TrialStats:
 
     @property
     def success_interval(self) -> tuple[float, float]:
+        if self.trials == 0:
+            return (float("nan"), float("nan"))
         return wilson_interval(self.successes, self.trials)
 
     def time_summary(self) -> TimesSummary:
@@ -105,13 +107,17 @@ def run_trials(
     even for stateful protocols), applies ``initializer`` under its own RNG
     stream, and runs to convergence or ``max_rounds`` — on the per-trial
     sequential engine or the lock-step batched engine, per ``engine`` (see
-    the module docstring). ``batched_sampler`` supplies the batched
+    the module docstring). ``trials=0`` is allowed and yields an empty
+    aggregate (no successes, empty ``times``, NaN summaries) without
+    touching either engine. ``batched_sampler`` supplies the batched
     observation model when ``sampler_factory`` customizes the sequential one
     (e.g. :class:`~repro.core.noise.BatchedNoisyCountSampler` to pair with
     :class:`~repro.core.noise.NoisyCountSampler`).
     """
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
     if engine not in ("auto", "batched", "sequential"):
         raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {engine!r}")
     if engine == "batched":
@@ -133,6 +139,22 @@ def run_trials(
     ):
         probe = protocol_factory()
         use_batched = probe.batch_vectorized
+    if trials == 0:
+        # Degrade gracefully: an empty aggregate with no division warnings
+        # (success_rate and the time summary report NaN, times stays empty)
+        # rather than an error — sweep grids may legitimately zip in empty
+        # cells, and downstream table code handles the NaNs already.
+        probe = probe if probe is not None else protocol_factory()
+        return TrialStats(
+            protocol_name=probe.name,
+            initializer_name=initializer.name,
+            n=n,
+            trials=0,
+            max_rounds=max_rounds,
+            successes=0,
+            times=np.empty(0, dtype=float),
+            engine="batched" if use_batched else "sequential",
+        )
     if use_batched:
         return _run_trials_batched(
             probe if probe is not None else protocol_factory(),

@@ -14,20 +14,24 @@ would be needed in noisy environments.)
 The meaningful criteria are therefore split: *θ-convergence* (first time the
 fraction of correct non-sources reaches ``θ``) and the *settle level* (mean
 correct fraction over a window after θ was reached).
+
+The driver runs on the sweep orchestrator (:mod:`repro.sweep`): each noise
+level becomes one cell of a grid with the ``theta`` measure, so the levels
+run in parallel across ``jobs`` worker processes and can persist/resume
+through a results ``store``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from ..core.engine import SynchronousEngine
-from ..core.noise import NoisyCountSampler
-from ..core.population import make_population
-from ..core.rng import spawn_rngs
 from ..initializers.standard import AllWrong, Initializer
-from ..protocols.fet import FETProtocol
+from ..sweep.orchestrator import run_sweep
+from ..sweep.spec import SweepSpec
+from ..sweep.store import ResultsStore
 
 __all__ = ["NoiseRow", "sweep_noise"]
 
@@ -54,47 +58,39 @@ def sweep_noise(
     theta: float = 0.95,
     settle_window: int = 20,
     initializer: Initializer | None = None,
+    jobs: int = 1,
+    store: ResultsStore | str | Path | None = None,
 ) -> list[NoiseRow]:
     """Measure FET's θ-convergence time and settle level per noise level."""
     initializer = initializer if initializer is not None else AllWrong()
+    spec = SweepSpec(
+        name="noise-robustness",
+        seed=seed,
+        trials=trials,
+        axes={
+            "protocol": [{"name": "fet", "ell": int(ell)}],
+            "n": [n],
+            "noise": [float(eps) for eps in epsilons],
+            "initializer": [initializer.spec()],
+        },
+        max_rounds=max_rounds,
+        stability_rounds=1,
+        engine="sequential",
+        measure={"kind": "theta", "theta": theta, "settle_window": settle_window},
+    )
+    outcome = run_sweep(spec, jobs=jobs, store=store)
     rows: list[NoiseRow] = []
-    for eps_index, epsilon in enumerate(epsilons):
-        times: list[int] = []
-        settle_levels: list[float] = []
-        reached = 0
-        for rng in spawn_rngs(seed + eps_index, trials):
-            protocol = FETProtocol(ell)
-            population = make_population(n, 1)
-            state = protocol.init_state(n, rng)
-            initializer(population, protocol, state, rng)
-            engine = SynchronousEngine(
-                population=population,
-                protocol=protocol,
-                sampler=NoisyCountSampler(epsilon),
-                rng=rng,
-                state=state,
-            )
-            result = engine.run(
-                max_rounds,
-                stability_rounds=1,
-                stop_condition=lambda pop: pop.nonsource_correct_fraction() >= theta,
-            )
-            if result.converged:
-                reached += 1
-                times.append(result.rounds)
-                # Let the system settle and record its noise-floor level.
-                levels = []
-                for _ in range(settle_window):
-                    engine.step()
-                    levels.append(population.nonsource_correct_fraction())
-                settle_levels.append(float(np.mean(levels)))
+    for cell, result in zip(outcome.cells, outcome.results):
+        payload = result.payload
+        times = payload["times"]
+        levels = payload["settle_levels"]
         rows.append(
             NoiseRow(
-                epsilon=epsilon,
-                trials=trials,
-                reached_theta=reached,
+                epsilon=cell.noise,
+                trials=cell.trials,
+                reached_theta=payload["reached"],
                 median_rounds=float(np.median(times)) if times else float("nan"),
-                mean_settle_level=float(np.mean(settle_levels)) if settle_levels else float("nan"),
+                mean_settle_level=float(np.mean(levels)) if levels else float("nan"),
             )
         )
     return rows

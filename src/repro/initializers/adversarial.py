@@ -4,12 +4,19 @@ These target the structurally hard starting points identified by the paper's
 analysis, plus the impossibility construction of Section 1.2. All of them
 control both opinions and internal protocol state (the full power the
 self-stabilizing adversary has).
+
+Like the standard classes, the crafted constructions support *batched*
+application (``supports_batch`` / ``apply_batch``): one vectorized call
+installs every replica of a :class:`~repro.core.batch.BatchedPopulation`,
+so adversarial sweep cells run the batched fast path end to end instead of
+falling back to per-trial setup.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
 from .standard import Initializer
@@ -31,6 +38,17 @@ def _set_fraction(population: PopulationState, x: float, rng: np.random.Generato
     population.adversarial_opinions(opinions)
 
 
+def _set_fraction_batch(batch: BatchedPopulation, x: float, rng: np.random.Generator) -> None:
+    ones = int(round(x * batch.n))
+    row = np.zeros(batch.n, dtype=np.uint8)
+    row[:ones] = 1
+    # A uniform within-row shuffle of a fixed-weight row matches the scalar
+    # rule's "ones at uniformly random positions", independently per replica.
+    opinions = np.tile(row, (batch.replicas, 1))
+    rng.permuted(opinions, axis=1, out=opinions)
+    batch.adversarial_opinions(opinions, validate=False)
+
+
 class TwoRoundTarget(Initializer):
     """Start the chain near a chosen grid point ``(x_prev, x_now)``.
 
@@ -40,6 +58,8 @@ class TwoRoundTarget(Initializer):
     (``prev_count ~ Binomial(ℓ, x_prev)`` for the trend protocols). It lets
     experiments drop the chain into any domain of Figure 1a directly.
     """
+
+    supports_batch = True
 
     def __init__(self, x_prev: float, x_now: float) -> None:
         for label, v in (("x_prev", x_prev), ("x_now", x_now)):
@@ -59,6 +79,21 @@ class TwoRoundTarget(Initializer):
         else:
             state.update(protocol.randomize_state(population.n, rng))
 
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        _set_fraction_batch(batch, self.x_now, rng)
+        if "prev_count" in states:
+            ell = getattr(protocol, "ell", None)
+            if ell is None:
+                raise ValueError("TwoRoundTarget needs a protocol exposing .ell")
+            states["prev_count"] = rng.binomial(
+                ell, self.x_prev, size=(batch.replicas, batch.n)
+            ).astype(np.int64)
+        else:
+            states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def spec(self) -> dict:
+        return {"name": "two-round", "x_prev": self.x_prev, "x_now": self.x_now}
+
 
 class ZeroSpeedCenter(Initializer):
     """The hardest region of Figure 1a: the Yellow centre with zero speed.
@@ -70,12 +105,19 @@ class ZeroSpeedCenter(Initializer):
     """
 
     name = "zero-speed-center"
+    supports_batch = True
 
     def __init__(self) -> None:
         self._inner = TwoRoundTarget(0.5, 0.5)
 
     def apply(self, population, protocol, state, rng) -> None:
         self._inner.apply(population, protocol, state, rng)
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        self._inner.apply_batch(batch, protocol, states, rng)
+
+    def spec(self) -> dict:
+        return {"name": "zero-speed-center"}
 
 
 class PoisonedCounters(Initializer):
@@ -88,6 +130,7 @@ class PoisonedCounters(Initializer):
     """
 
     name = "poisoned-counters"
+    supports_batch = True
 
     def apply(self, population, protocol, state, rng) -> None:
         wrong = 1 - population.correct_opinion
@@ -98,6 +141,19 @@ class PoisonedCounters(Initializer):
             state["prev_count"] = np.full(population.n, ell, dtype=np.int64)
         else:
             state.update(protocol.randomize_state(population.n, rng))
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        wrong = 1 - batch.correct_opinion
+        opinions = np.full((batch.replicas, batch.n), wrong, dtype=np.uint8)
+        batch.adversarial_opinions(opinions, validate=False)
+        if "prev_count" in states:
+            ell = getattr(protocol, "ell", 1)
+            states["prev_count"] = np.full((batch.replicas, batch.n), ell, dtype=np.int64)
+        else:
+            states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def spec(self) -> dict:
+        return {"name": "poisoned-counters"}
 
 
 class FrozenUnanimity(Initializer):
@@ -113,6 +169,8 @@ class FrozenUnanimity(Initializer):
     Must be used with ``pin_each_round=False`` populations (the majority
     variant); the initializer asserts this to prevent silent misuse.
     """
+
+    supports_batch = True
 
     def __init__(self, opinion: int = 1) -> None:
         if opinion not in (0, 1):
@@ -134,3 +192,18 @@ class FrozenUnanimity(Initializer):
             state["prev_count"] = np.full(population.n, value, dtype=np.int64)
         else:
             state.update(protocol.randomize_state(population.n, rng))
+
+    def apply_batch(self, batch, protocol, states, rng) -> None:
+        if batch.pin_each_round:
+            raise ValueError(
+                "FrozenUnanimity models the majority variant; build the population "
+                "with make_majority_population (pin_each_round=False)"
+            )
+        opinions = np.full((batch.replicas, batch.n), self.opinion, dtype=np.uint8)
+        batch.adversarial_opinions(opinions, pin_sources=False, validate=False)
+        if "prev_count" in states:
+            ell = getattr(protocol, "ell", 1)
+            value = ell if self.opinion == 1 else 0
+            states["prev_count"] = np.full((batch.replicas, batch.n), value, dtype=np.int64)
+        else:
+            states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))

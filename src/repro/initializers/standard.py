@@ -68,6 +68,19 @@ class Initializer(ABC):
         """
         raise NotImplementedError(f"{type(self).__name__} does not support batched application")
 
+    def spec(self) -> dict:
+        """Declarative ``{"name": ..., params}`` form for sweep cells.
+
+        The inverse of ``repro.sweep.registry.build_initializer``: it lets
+        experiment drivers that accept initializer *objects* hand the same
+        configuration to the declarative sweep orchestrator. Initializers
+        without a registry entry raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no declarative sweep spec; "
+            "see repro.sweep.registry for the supported initializers"
+        )
+
     def __call__(
         self,
         population: PopulationState,
@@ -104,6 +117,9 @@ class AllWrong(Initializer):
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
+    def spec(self) -> dict:
+        return {"name": "all-wrong"}
+
 
 class AllCorrect(Initializer):
     """Every agent starts on the correct opinion (stability check)."""
@@ -120,6 +136,9 @@ class AllCorrect(Initializer):
         opinions = np.full((batch.replicas, batch.n), batch.correct_opinion, dtype=np.uint8)
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def spec(self) -> dict:
+        return {"name": "all-correct"}
 
 
 class BernoulliRandom(Initializer):
@@ -141,6 +160,9 @@ class BernoulliRandom(Initializer):
         opinions = (rng.random((batch.replicas, batch.n)) < self.p).astype(np.uint8)
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def spec(self) -> dict:
+        return {"name": "bernoulli", "p": self.p}
 
 
 class ExactFraction(Initializer):
@@ -177,6 +199,9 @@ class ExactFraction(Initializer):
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
+    def spec(self) -> dict:
+        return {"name": "fraction", "x": self.x}
+
 
 class RandomizeProtocolState(Initializer):
     """Leave opinions untouched; randomize only the internal protocol state."""
@@ -189,3 +214,6 @@ class RandomizeProtocolState(Initializer):
 
     def apply_batch(self, batch, protocol, states, rng) -> None:
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def spec(self) -> dict:
+        return {"name": "randomize-state"}

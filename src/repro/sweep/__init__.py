@@ -1,0 +1,80 @@
+"""Parallel sweep orchestrator: declarative grids, process pools, resume.
+
+Every table in the paper reproduction is a grid over (protocol, n, noise,
+initializer) cells, and every cell is an independent batch of trials — the
+PR-1 batched engine made one cell fast, this package makes a *grid* of
+cells fast and repeatable:
+
+* :mod:`~repro.sweep.spec` — declarative :class:`SweepSpec`/:class:`Cell`
+  grids (cross-product and zipped axes) with deterministically derived
+  per-cell seeds;
+* :mod:`~repro.sweep.registry` — name → protocol/initializer builders, so
+  cells are JSON-able and picklable;
+* :mod:`~repro.sweep.runner` — :func:`execute_cell`, the pure worker
+  function (consensus and θ-convergence measures);
+* :mod:`~repro.sweep.dispatch` — serial and process-pool dispatchers with
+  ordered collection;
+* :mod:`~repro.sweep.store` — the append-only JSON-lines
+  :class:`ResultsStore` behind resume-after-interrupt and skip-if-cached;
+* :mod:`~repro.sweep.orchestrator` — :func:`run_sweep` tying it together,
+  with CSV/table export through :mod:`repro.viz`.
+
+The front door is ``repro sweep`` (see :mod:`repro.cli`); the experiment
+drivers in :mod:`repro.experiments.convergence` and
+:mod:`repro.experiments.robustness` run on this orchestrator.
+
+Quickstart::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="fet-vs-voter",
+        seed=0,
+        trials=50,
+        axes={
+            "protocol": ["fet", "voter"],
+            "n": [100, 1000],
+            "initializer": ["all-wrong", {"name": "bernoulli", "p": 0.5}],
+        },
+    )
+    result = run_sweep(spec, jobs=4, store="results/sweep_store.jsonl")
+    print(result.table())
+"""
+
+from .dispatch import ProcessPoolDispatcher, SerialDispatcher, make_dispatcher
+from .orchestrator import SweepResult, run_sweep
+from .registry import (
+    build_initializer,
+    build_protocol,
+    initializer_names,
+    protocol_factory,
+    protocol_names,
+    validate_cell,
+)
+from .runner import RESULT_COLUMNS, CellResult, execute_cell
+from .spec import AXES, Cell, SweepSpec, derive_cell_seed, fet_demo_spec, load_spec
+from .store import ResultsStore
+
+__all__ = [
+    "AXES",
+    "Cell",
+    "CellResult",
+    "ProcessPoolDispatcher",
+    "RESULT_COLUMNS",
+    "ResultsStore",
+    "SerialDispatcher",
+    "SweepResult",
+    "SweepSpec",
+    "build_initializer",
+    "build_protocol",
+    "derive_cell_seed",
+    "execute_cell",
+    "fet_demo_spec",
+    "initializer_names",
+    "load_spec",
+    "make_dispatcher",
+    "protocol_factory",
+    "protocol_names",
+    "run_sweep",
+    "validate_cell",
+]

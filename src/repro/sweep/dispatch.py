@@ -1,0 +1,93 @@
+"""Cell dispatchers: run a work list inline or across a process pool.
+
+A dispatcher maps a function over items and returns results **in submission
+order** no matter when each item finishes. Completion events are surfaced
+through an ``on_result`` callback invoked in the orchestrating process (in
+completion order), which is where the orchestrator persists finished cells
+— workers never touch the store, so no cross-process locking is needed.
+
+:class:`ProcessPoolDispatcher` fans items out over ``jobs`` OS processes —
+the sweep layer's answer to the one-core ceiling of a single ``(R, n)``
+batch: cells are embarrassingly parallel (independent derived seeds, no
+shared state), so the pool scales wall-clock with cores while the ordered
+collection keeps aggregate output bitwise identical to a serial run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["SerialDispatcher", "ProcessPoolDispatcher", "make_dispatcher"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+OnResult = Callable[[int, R], None] | None
+
+
+class SerialDispatcher:
+    """Run every item inline in the calling process (``jobs=1``).
+
+    Also the fallback of choice for debugging: tracebacks surface directly
+    and no subprocess machinery is involved.
+    """
+
+    jobs = 1
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        on_result: OnResult = None,
+    ) -> list[R]:
+        results: list[R] = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class ProcessPoolDispatcher:
+    """Fan items out over ``jobs`` worker processes, collect in order.
+
+    ``fn`` and the items must be picklable and ``fn`` must be deterministic
+    per item (sweep cells carry their own seeds, so this holds by
+    construction). A worker exception propagates to the caller after the
+    pool shuts down; already-completed items will have been reported through
+    ``on_result``, so a store-backed sweep loses nothing.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        on_result: OnResult = None,
+    ) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        results: list[R | None] = [None] * len(items)
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as executor:
+            futures = {executor.submit(fn, item): index for index, item in enumerate(items)}
+            for future in as_completed(futures):
+                index = futures[future]
+                result = future.result()
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+        return results  # type: ignore[return-value]
+
+
+def make_dispatcher(jobs: int) -> SerialDispatcher | ProcessPoolDispatcher:
+    """Serial for ``jobs <= 1``, a process pool otherwise."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return SerialDispatcher() if jobs == 1 else ProcessPoolDispatcher(jobs)

@@ -1,0 +1,128 @@
+"""Sweep orchestration: expand → cache-check → dispatch → collect → export.
+
+:func:`run_sweep` is the one entry point tying the sweep layers together: it
+expands a :class:`~repro.sweep.spec.SweepSpec` into cells, serves whatever a
+:class:`~repro.sweep.store.ResultsStore` already holds, fans the missing
+cells out over a dispatcher, and persists each cell the moment it completes.
+The returned :class:`SweepResult` keeps cells and results aligned in the
+spec's canonical expansion order, so every export — rows, table, CSV — is
+**bitwise identical regardless of job count or how many runs (interrupted
+or cached) it took to fill the grid**.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..viz.csv_out import write_rows
+from ..viz.tables import format_table
+from .dispatch import make_dispatcher
+from .registry import validate_cell
+from .runner import RESULT_COLUMNS, CellResult, execute_cell
+from .spec import Cell, SweepSpec
+from .store import ResultsStore
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep, in canonical cell order."""
+
+    spec: SweepSpec
+    cells: list[Cell]
+    results: list[CellResult]
+
+    @property
+    def executed(self) -> int:
+        """Cells computed by this run (as opposed to served from the store)."""
+        return sum(1 for result in self.results if not result.cached)
+
+    @property
+    def cached(self) -> int:
+        """Cells served from the store without recomputation."""
+        return sum(1 for result in self.results if result.cached)
+
+    def rows(self) -> list[dict]:
+        """Flat per-cell dicts over ``RESULT_COLUMNS``, in cell order."""
+        return [result.row() for result in self.results]
+
+    def table(self) -> str:
+        """Aligned text table of all cells (NaN renders as ``-``)."""
+        return format_table(
+            list(RESULT_COLUMNS),
+            [[row[column] for column in RESULT_COLUMNS] for row in self.rows()],
+        )
+
+    def write_csv(self, path: str | Path) -> Path:
+        """Write the aggregate CSV (NaN cells blank), creating parents.
+
+        Cell order and float formatting are deterministic, so two sweeps of
+        the same spec produce byte-identical files whatever their job
+        counts or cache states were.
+        """
+        table = []
+        for row in self.rows():
+            table.append(
+                [
+                    "" if isinstance(value, float) and math.isnan(value) else value
+                    for value in (row[column] for column in RESULT_COLUMNS)
+                ]
+            )
+        return write_rows(path, RESULT_COLUMNS, table)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    store: ResultsStore | str | Path | None = None,
+    force: bool = False,
+) -> SweepResult:
+    """Run every cell of ``spec``, in parallel and against the store.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 runs inline. Results are independent of this
+        knob — it only trades wall-clock for cores.
+    store:
+        A :class:`ResultsStore` (or a path to create one at). Cells whose
+        key is present are served from it; cells computed by this run are
+        appended to it as they finish, making any interrupted run resumable.
+    force:
+        Recompute every cell even on a store hit (fresh results overwrite
+        the stored entries).
+    """
+    cells = spec.expand()
+    for cell in cells:
+        validate_cell(cell)
+    if store is not None and not isinstance(store, ResultsStore):
+        store = ResultsStore(store)
+
+    results: list[CellResult | None] = [None] * len(cells)
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        key = cell.key()
+        record = store.get(key) if store is not None and not force else None
+        if record is not None:
+            results[index] = CellResult(
+                key=key, cell=record["cell"], payload=record["payload"], cached=True
+            )
+        else:
+            pending.append(index)
+
+    if pending:
+        def persist(_pending_index: int, result: CellResult) -> None:
+            if store is not None:
+                store.put(result.key, {"cell": result.cell, "payload": result.payload})
+
+        computed = make_dispatcher(jobs).map(
+            execute_cell, [cells[index] for index in pending], on_result=persist
+        )
+        for index, result in zip(pending, computed):
+            results[index] = result
+
+    return SweepResult(spec=spec, cells=cells, results=results)  # type: ignore[arg-type]

@@ -1,0 +1,155 @@
+"""Name → object registries for declarative sweep cells.
+
+Sweep cells describe protocols and initializers as ``{"name": ..., params}``
+dicts (JSON-able, picklable, hashable into store keys); this module turns
+those descriptions back into live objects inside whichever process runs the
+cell. The registries cover every protocol and initializer shipped by the
+library except :class:`~repro.initializers.adversarial.FrozenUnanimity`,
+which requires the majority-variant population that sweep cells (built on
+``make_population``) do not model.
+
+Sample-size parameters: protocols taking ℓ accept an explicit ``ell`` or
+derive the paper's ``ℓ = ⌈c·ln n⌉`` from the cell's population size, with
+``sample_constant`` overriding ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.protocol import Protocol
+from ..initializers.adversarial import PoisonedCounters, TwoRoundTarget, ZeroSpeedCenter
+from ..initializers.standard import (
+    AllCorrect,
+    AllWrong,
+    BernoulliRandom,
+    ExactFraction,
+    Initializer,
+    RandomizeProtocolState,
+)
+from ..protocols import (
+    ClockSyncProtocol,
+    DEFAULT_SAMPLE_CONSTANT,
+    FETProtocol,
+    HysteresisFETProtocol,
+    MajorityProtocol,
+    MajoritySamplingProtocol,
+    OracleClockProtocol,
+    SimpleTrendProtocol,
+    UndecidedStateProtocol,
+    VoterProtocol,
+    ell_for,
+)
+
+__all__ = [
+    "build_initializer",
+    "build_protocol",
+    "initializer_names",
+    "protocol_factory",
+    "protocol_names",
+    "validate_cell",
+]
+
+
+def _params(spec: dict, kind: str, allowed: set[str]) -> dict:
+    params = {key: value for key, value in spec.items() if key != "name"}
+    unknown = set(params) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown parameters {sorted(unknown)} for {kind} {spec['name']!r}; "
+            f"allowed: {sorted(allowed) or 'none'}"
+        )
+    return params
+
+
+def _resolve_ell(params: dict, n: int) -> int:
+    if "ell" in params:
+        return int(params["ell"])
+    return ell_for(n, float(params.get("sample_constant", DEFAULT_SAMPLE_CONSTANT)))
+
+
+_ELL_PARAMS = {"ell", "sample_constant"}
+
+#: name -> (builder(params, n) -> Protocol, allowed parameter names)
+_PROTOCOLS: dict[str, tuple[Callable[[dict, int], Protocol], set[str]]] = {
+    "fet": (lambda p, n: FETProtocol(_resolve_ell(p, n)), _ELL_PARAMS),
+    "simple-trend": (lambda p, n: SimpleTrendProtocol(_resolve_ell(p, n)), _ELL_PARAMS),
+    "sample-majority": (lambda p, n: MajoritySamplingProtocol(_resolve_ell(p, n)), _ELL_PARAMS),
+    "hysteresis-fet": (
+        lambda p, n: HysteresisFETProtocol(_resolve_ell(p, n), band=int(p.get("band", 1))),
+        _ELL_PARAMS | {"band"},
+    ),
+    "voter": (lambda p, n: VoterProtocol(), set()),
+    "k-majority": (lambda p, n: MajorityProtocol(k=int(p.get("k", 3))), {"k"}),
+    "undecided-state": (lambda p, n: UndecidedStateProtocol(), set()),
+    "oracle-clock": (lambda p, n: OracleClockProtocol(n, ell=int(p.get("ell", 1))), {"ell"}),
+    "clock-sync": (lambda p, n: ClockSyncProtocol(n, ell=int(p.get("ell", 1))), {"ell"}),
+}
+
+#: name -> (builder(params) -> Initializer, allowed parameter names)
+_INITIALIZERS: dict[str, tuple[Callable[[dict], Initializer], set[str]]] = {
+    "all-wrong": (lambda p: AllWrong(), set()),
+    "all-correct": (lambda p: AllCorrect(), set()),
+    "bernoulli": (lambda p: BernoulliRandom(float(p.get("p", 0.5))), {"p"}),
+    "fraction": (lambda p: ExactFraction(float(p["x"])), {"x"}),
+    "randomize-state": (lambda p: RandomizeProtocolState(), set()),
+    "two-round": (
+        lambda p: TwoRoundTarget(float(p["x_prev"]), float(p["x_now"])),
+        {"x_prev", "x_now"},
+    ),
+    "zero-speed-center": (lambda p: ZeroSpeedCenter(), set()),
+    "poisoned-counters": (lambda p: PoisonedCounters(), set()),
+}
+
+
+def protocol_names() -> list[str]:
+    return sorted(_PROTOCOLS)
+
+
+def initializer_names() -> list[str]:
+    return sorted(_INITIALIZERS)
+
+
+def build_protocol(spec: dict, n: int) -> Protocol:
+    """Instantiate the protocol described by ``spec`` for population size ``n``."""
+    name = spec.get("name")
+    if name not in _PROTOCOLS:
+        raise ValueError(f"unknown protocol {name!r}; known protocols: {protocol_names()}")
+    builder, allowed = _PROTOCOLS[name]
+    return builder(_params(spec, "protocol", allowed), n)
+
+
+def protocol_factory(spec: dict, n: int) -> Callable[[], Protocol]:
+    """Zero-argument factory building a fresh protocol instance per call.
+
+    The first instantiation (inside the factory's creator) surfaces spec
+    errors immediately; the orchestrator additionally validates every cell
+    *before* dispatching (:func:`validate_cell`), so bad specs fail fast in
+    the orchestrating process rather than inside a pool worker.
+    """
+    build_protocol(spec, n)
+    return lambda: build_protocol(spec, n)
+
+
+def build_initializer(spec: dict) -> Initializer:
+    """Instantiate the initializer described by ``spec``."""
+    name = spec.get("name")
+    if name not in _INITIALIZERS:
+        raise ValueError(f"unknown initializer {name!r}; known initializers: {initializer_names()}")
+    builder, allowed = _INITIALIZERS[name]
+    return builder(_params(spec, "initializer", allowed))
+
+
+def validate_cell(cell) -> None:
+    """Fail fast on a cell whose components cannot be built.
+
+    Called by the orchestrator on every cell before any worker is spawned,
+    so a typo'd protocol or initializer name raises one clear ValueError in
+    the orchestrating process instead of an opaque exception from inside a
+    pool worker after part of the grid has already run.
+    """
+    try:
+        build_protocol(cell.protocol, cell.n)
+        build_initializer(cell.initializer)
+    except (ValueError, KeyError, TypeError) as error:
+        raise ValueError(f"invalid sweep cell [{cell.label()}]: {error}") from error

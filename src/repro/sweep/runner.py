@@ -1,0 +1,238 @@
+"""Cell execution: the worker-side function of the sweep orchestrator.
+
+:func:`execute_cell` is a pure function of a :class:`~repro.sweep.spec.Cell`
+— it builds the protocol and initializer from the cell's declarative specs,
+runs the measurement under the cell's derived seed, and returns a
+JSON-able :class:`CellResult`. Purity is what buys the orchestrator its
+guarantees: results are identical whether a cell runs inline, in any of N
+pool workers, or in a later resumed process, so aggregate output is
+reproducible regardless of scheduling, and cached store entries are
+interchangeable with fresh computations.
+
+Two measurement kinds are supported (``cell.measure["kind"]``):
+
+``consensus``
+    Full convergence aggregates via
+    :func:`~repro.experiments.harness.run_trials` — the measurement behind
+    the scaling/comparison tables. Noise cells pair
+    :class:`~repro.core.noise.NoisyCountSampler` with its batched
+    counterpart so the fast path is preserved.
+``theta``
+    θ-convergence plus settle level — the robustness measurement of
+    :mod:`repro.experiments.robustness`: per-trial sequential runs stop when
+    the correct non-source fraction first reaches θ, then step on for a
+    settle window and record the mean level held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.engine import SynchronousEngine
+from ..core.noise import BatchedNoisyCountSampler, NoisyCountSampler
+from ..core.population import make_population
+from ..core.rng import spawn_rngs
+from ..stats.summary import TimesSummary, describe_times
+from .registry import build_initializer, protocol_factory
+from .spec import Cell
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.harness import TrialStats
+
+# The experiment drivers in repro.experiments build on this package, so the
+# harness import must happen at call time to keep the package import DAG
+# acyclic (repro.sweep must be importable before repro.experiments).
+
+__all__ = ["CellResult", "execute_cell", "RESULT_COLUMNS"]
+
+#: Flat export columns shared by the CSV and table renderings, in order.
+RESULT_COLUMNS = (
+    "protocol",
+    "init",
+    "n",
+    "noise",
+    "trials",
+    "successes",
+    "rate",
+    "median",
+    "mean",
+    "p95",
+    "max",
+    "settle",
+    "engine",
+)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one sweep cell, in store/transport form.
+
+    ``cell`` is the cell's ``to_dict()`` form and ``payload`` the
+    measurement outcome — both JSON-able, so a result pickles to/from worker
+    processes and round-trips through the JSON-lines store unchanged.
+    ``cached`` marks results served from a store instead of computed.
+    """
+
+    key: str
+    cell: dict
+    payload: dict
+    cached: bool = field(default=False, compare=False)
+
+    @property
+    def measure(self) -> str:
+        return self.payload["measure"]
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self.payload["times"], dtype=float)
+
+    def time_summary(self) -> TimesSummary:
+        return describe_times(self.times())
+
+    def stats(self) -> "TrialStats":
+        """Rebuild the :class:`TrialStats` of a consensus cell."""
+        from ..experiments.harness import TrialStats
+
+        if self.measure != "consensus":
+            raise ValueError(f"cell measured {self.measure!r}, not consensus")
+        return TrialStats(
+            protocol_name=self.payload["protocol"],
+            initializer_name=self.payload["initializer"],
+            n=self.cell["n"],
+            trials=self.cell["trials"],
+            max_rounds=self.cell["max_rounds"],
+            successes=self.payload["successes"],
+            times=self.times(),
+            engine=self.payload["engine"],
+        )
+
+    def row(self) -> dict:
+        """Flat dict over :data:`RESULT_COLUMNS` for CSV/table export.
+
+        Columns that do not apply to the cell's measure (``settle`` for
+        consensus cells) are NaN; exporters render NaN as blank.
+        """
+        trials = self.cell["trials"]
+        summary = self.time_summary()
+        if self.measure == "theta":
+            successes = self.payload["reached"]
+            levels = self.payload["settle_levels"]
+            settle = float(np.mean(levels)) if levels else float("nan")
+        else:
+            successes = self.payload["successes"]
+            settle = float("nan")
+        return {
+            "protocol": self.payload["protocol"],
+            "init": self.payload["initializer"],
+            "n": self.cell["n"],
+            "noise": self.cell["noise"],
+            "trials": trials,
+            "successes": successes,
+            "rate": successes / trials if trials else float("nan"),
+            "median": summary.median,
+            "mean": summary.mean,
+            "p95": summary.p95,
+            "max": summary.maximum,
+            "settle": settle,
+            "engine": self.payload["engine"],
+        }
+
+
+def execute_cell(cell: Cell) -> CellResult:
+    """Run one cell to completion and package its result.
+
+    Deterministic given the cell alone (the cell carries its derived seed),
+    with no dependence on global state — safe to call from pool workers.
+    """
+    factory = protocol_factory(cell.protocol, cell.n)
+    initializer = build_initializer(cell.initializer)
+    kind = cell.measure["kind"]
+    if kind == "consensus":
+        payload = _measure_consensus(cell, factory, initializer)
+    elif kind == "theta":
+        payload = _measure_theta(cell, factory, initializer)
+    else:
+        raise ValueError(f"unknown measure kind {cell.measure!r}")
+    return CellResult(key=cell.key(), cell=cell.to_dict(), payload=payload)
+
+
+def _measure_consensus(cell: Cell, factory, initializer) -> dict:
+    from ..experiments.harness import run_trials
+
+    noisy = cell.noise > 0.0
+    stats = run_trials(
+        factory,
+        cell.n,
+        initializer,
+        trials=cell.trials,
+        max_rounds=cell.max_rounds,
+        seed=cell.seed,
+        sampler_factory=(lambda: NoisyCountSampler(cell.noise)) if noisy else None,
+        batched_sampler=BatchedNoisyCountSampler(cell.noise) if noisy else None,
+        stability_rounds=cell.stability_rounds,
+        engine=cell.engine,
+    )
+    return {
+        "measure": "consensus",
+        "protocol": stats.protocol_name,
+        "initializer": stats.initializer_name,
+        "successes": stats.successes,
+        "times": [float(t) for t in stats.times],
+        "engine": stats.engine,
+    }
+
+
+def _measure_theta(cell: Cell, factory, initializer) -> dict:
+    """θ-convergence + settle level, per trial on the sequential engine.
+
+    The settle window keeps stepping an engine after its stop condition
+    fired, which the batched engine's retirement model does not support —
+    so this measure always runs sequentially, whatever ``cell.engine`` says.
+    """
+    theta = float(cell.measure["theta"])
+    settle_window = int(cell.measure.get("settle_window", 20))
+    protocol_name = ""
+    times: list[int] = []
+    settle_levels: list[float] = []
+    reached = 0
+    for rng in spawn_rngs(cell.seed, cell.trials):
+        protocol = factory()
+        protocol_name = protocol.name
+        population = make_population(cell.n, 1)
+        state = protocol.init_state(cell.n, rng)
+        initializer(population, protocol, state, rng)
+        engine = SynchronousEngine(
+            protocol,
+            population,
+            sampler=NoisyCountSampler(cell.noise),
+            rng=rng,
+            state=state,
+        )
+        result = engine.run(
+            cell.max_rounds,
+            stability_rounds=cell.stability_rounds,
+            stop_condition=lambda pop: pop.nonsource_correct_fraction() >= theta,
+        )
+        if result.converged:
+            reached += 1
+            times.append(result.rounds)
+            levels = []
+            for _ in range(settle_window):
+                engine.step()
+                levels.append(population.nonsource_correct_fraction())
+            settle_levels.append(float(np.mean(levels)))
+    if cell.trials == 0:
+        protocol_name = factory().name
+    return {
+        "measure": "theta",
+        "protocol": protocol_name,
+        "initializer": initializer.name,
+        "reached": reached,
+        "times": [float(t) for t in times],
+        "settle_levels": settle_levels,
+        "theta": theta,
+        "settle_window": settle_window,
+        "engine": "sequential",
+    }

@@ -1,0 +1,371 @@
+"""Declarative sweep grids: axes, cells, and deterministic per-cell seeds.
+
+A :class:`SweepSpec` names the axes of an experiment grid — ``protocol``,
+``n``, ``noise``, ``initializer`` — by *value lists* rather than by Python
+objects, so a whole sweep round-trips through JSON: it can live in a file,
+be handed to ``repro sweep``, be hashed into a results-store key, and be
+shipped to a worker process. :meth:`SweepSpec.expand` turns the spec into a
+flat list of independent :class:`Cell` configurations:
+
+* axes are **crossed** by default (full Cartesian product, in the canonical
+  axis order ``protocol × n × noise × initializer``);
+* axes listed together in ``zipped`` advance **in lock-step** instead
+  (their value lists must have equal length), e.g. zipping ``n`` with
+  ``initializer`` pairs the i-th population size with the i-th start.
+
+Every cell receives its own integer seed derived from the spec's base seed
+and a content hash of the cell's configuration (:func:`derive_cell_seed`).
+The derivation is a :class:`numpy.random.SeedSequence` over distinct entropy
+tuples, so cell streams are independent by construction, and — because the
+hash covers only the cell's own configuration — a cell keeps its seed (and
+therefore its exact results) when the surrounding grid is reordered, grown,
+or split across resumed runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "AXES",
+    "Cell",
+    "SweepSpec",
+    "canonical_json",
+    "derive_cell_seed",
+    "fet_demo_spec",
+    "load_spec",
+]
+
+#: Canonical axis order; cross-product expansion and cell ordering follow it.
+AXES = ("protocol", "n", "noise", "initializer")
+
+#: Bumped when the cell schema changes incompatibly, so stale store entries
+#: miss instead of deserializing into the wrong shape.
+CELL_SCHEMA = 1
+
+#: Measurement kinds understood by the cell runner (see ``sweep.runner``).
+MEASURES = ("consensus", "theta")
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize to the canonical form used for hashing (sorted keys, no
+    whitespace) — byte-stable across processes and sessions."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_cell_seed(base_seed: int, spec_dict: dict) -> int:
+    """Deterministic integer seed for one cell of a sweep.
+
+    The cell's canonical JSON is hashed and the digest words are spawned
+    through a :class:`~numpy.random.SeedSequence` together with the base
+    seed: distinct cell configurations (or distinct base seeds) give
+    independent streams, while the same cell under the same base seed gets
+    the same seed in every process, job count, and resumed run.
+    """
+    digest = hashlib.sha256(canonical_json(spec_dict).encode()).digest()
+    words = tuple(int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4))
+    sequence = np.random.SeedSequence((int(base_seed), *words))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def _normalize_component(value: Any, axis: str) -> dict:
+    """Coerce a protocol/initializer axis entry to ``{"name": ..., params}``."""
+    if isinstance(value, str):
+        return {"name": value}
+    if isinstance(value, dict):
+        if "name" not in value:
+            raise ValueError(f"{axis} axis entries need a 'name' key, got {value!r}")
+        return {key: value[key] for key in value}
+    raise ValueError(f"{axis} axis entries must be names or dicts, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-resolved grid point: an independent unit of sweep work.
+
+    Cells are plain data (JSON-able fields only) so they pickle cleanly to
+    worker processes and hash stably into results-store keys. ``seed`` is
+    derived, not user-chosen — see :func:`derive_cell_seed`.
+    """
+
+    protocol: dict
+    n: int
+    noise: float
+    initializer: dict
+    trials: int
+    max_rounds: int
+    stability_rounds: int
+    engine: str
+    measure: dict
+    seed: int
+
+    def spec_dict(self) -> dict:
+        """The cell's configuration without the derived seed (hash input)."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "noise": self.noise,
+            "initializer": self.initializer,
+            "trials": self.trials,
+            "max_rounds": self.max_rounds,
+            "stability_rounds": self.stability_rounds,
+            "engine": self.engine,
+            "measure": self.measure,
+        }
+
+    def to_dict(self) -> dict:
+        out = self.spec_dict()
+        out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cell":
+        return cls(**data)
+
+    def key(self) -> str:
+        """Content hash of the cell spec + seed: the results-store key."""
+        payload = {"schema": CELL_SCHEMA, **self.to_dict()}
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell tag for logs and errors."""
+        parts = [self.protocol["name"], f"n={self.n}"]
+        if self.noise:
+            parts.append(f"eps={self.noise}")
+        parts.append(self.initializer["name"])
+        return " ".join(parts)
+
+
+@dataclass
+class SweepSpec:
+    """Declarative experiment grid over protocol × n × noise × initializer.
+
+    Parameters
+    ----------
+    axes:
+        Axis name → value list. ``protocol`` and ``n`` are required;
+        ``noise`` defaults to ``[0.0]`` and ``initializer`` to all-wrong.
+        Scalars are auto-wrapped into single-value lists; protocol and
+        initializer entries may be bare names or ``{"name": ..., params}``
+        dicts (see ``sweep.registry`` for the known names and parameters).
+    zipped:
+        Groups of axis names that advance in lock-step instead of being
+        crossed; the lists of every axis in a group must have equal length.
+    trials:
+        Trials per cell (0 allowed: cells degrade to empty aggregates).
+    max_rounds:
+        Per-run round budget. ``None`` applies the poly-log rule
+        ``max(min_rounds, int(max_rounds_factor · (ln n)^2.5))`` per cell —
+        the Theorem-1 scaling convention of the convergence sweeps.
+    measure:
+        ``{"kind": "consensus"}`` (default; full convergence aggregates via
+        ``run_trials``) or ``{"kind": "theta", "theta": ..,
+        "settle_window": ..}`` (θ-convergence + settle level, the
+        robustness-sweep measurement).
+    """
+
+    axes: dict[str, list]
+    trials: int
+    seed: int = 0
+    name: str = "sweep"
+    zipped: list[list[str]] = field(default_factory=list)
+    max_rounds: int | None = None
+    max_rounds_factor: float = 40.0
+    min_rounds: int = 50
+    stability_rounds: int = 2
+    engine: str = "auto"
+    measure: dict = field(default_factory=lambda: {"kind": "consensus"})
+
+    def __post_init__(self) -> None:
+        if self.trials < 0:
+            raise ValueError(f"trials must be >= 0, got {self.trials}")
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.stability_rounds < 1:
+            raise ValueError(f"stability_rounds must be >= 1, got {self.stability_rounds}")
+        if self.engine not in ("auto", "batched", "sequential"):
+            raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {self.engine!r}")
+        kind = self.measure.get("kind")
+        if kind not in MEASURES:
+            raise ValueError(f"measure kind must be one of {MEASURES}, got {self.measure!r}")
+        if kind == "theta":
+            if "theta" not in self.measure:
+                raise ValueError(f"theta measure needs a 'theta' threshold, got {self.measure!r}")
+            theta = float(self.measure["theta"])
+            if not 0.0 < theta <= 1.0:
+                raise ValueError(f"theta must be in (0, 1], got {theta}")
+            if int(self.measure.get("settle_window", 20)) < 0:
+                raise ValueError(f"settle_window must be >= 0, got {self.measure['settle_window']}")
+
+        axes = dict(self.axes)
+        unknown = set(axes) - set(AXES)
+        if unknown:
+            raise ValueError(f"unknown axes {sorted(unknown)}; known axes: {AXES}")
+        for required in ("protocol", "n"):
+            if required not in axes:
+                raise ValueError(f"axes must include {required!r}")
+        axes.setdefault("noise", [0.0])
+        axes.setdefault("initializer", [{"name": "all-wrong"}])
+        for axis, values in axes.items():
+            if not isinstance(values, (list, tuple)):
+                values = [values]
+            values = list(values)
+            if not values:
+                raise ValueError(f"axis {axis!r} must have at least one value")
+            axes[axis] = values
+        axes["protocol"] = [_normalize_component(v, "protocol") for v in axes["protocol"]]
+        axes["initializer"] = [_normalize_component(v, "initializer") for v in axes["initializer"]]
+        axes["n"] = [int(v) for v in axes["n"]]
+        axes["noise"] = [float(v) for v in axes["noise"]]
+        for n in axes["n"]:
+            if n < 2:
+                raise ValueError(f"population sizes must be >= 2, got {n}")
+        for eps in axes["noise"]:
+            if not 0.0 <= eps <= 0.5:
+                raise ValueError(f"noise levels must be in [0, 1/2], got {eps}")
+        self.axes = axes
+
+        zipped = [list(group) for group in self.zipped]
+        seen: set[str] = set()
+        for group in zipped:
+            if len(group) < 2:
+                raise ValueError(f"zipped groups need at least two axes, got {group}")
+            for axis in group:
+                if axis not in self.axes:
+                    raise ValueError(f"zipped axis {axis!r} is not a spec axis")
+                if axis in seen:
+                    raise ValueError(f"axis {axis!r} appears in more than one zipped group")
+                seen.add(axis)
+            lengths = {axis: len(self.axes[axis]) for axis in group}
+            if len(set(lengths.values())) != 1:
+                raise ValueError(f"zipped axes must have equal lengths, got {lengths}")
+        self.zipped = zipped
+
+    # ------------------------------------------------------------- expansion
+
+    def _groups(self) -> list[list[str]]:
+        """Iteration groups in canonical order: zipped axes travel together."""
+        groups: list[list[str]] = []
+        emitted: set[str] = set()
+        for axis in AXES:
+            if axis in emitted:
+                continue
+            group = next((g for g in self.zipped if axis in g), None)
+            if group is not None:
+                ordered = [a for a in AXES if a in group]
+                groups.append(ordered)
+                emitted.update(ordered)
+            else:
+                groups.append([axis])
+                emitted.add(axis)
+        return groups
+
+    def resolve_max_rounds(self, n: int) -> int:
+        if self.max_rounds is not None:
+            return self.max_rounds
+        return max(self.min_rounds, int(self.max_rounds_factor * math.log(n) ** 2.5))
+
+    def expand(self) -> list[Cell]:
+        """Expand the grid into independent cells, in canonical order.
+
+        The order is the Cartesian product of the iteration groups in the
+        canonical axis order — deterministic and independent of how the
+        cells later get scheduled, which is what makes aggregate output
+        reproducible across job counts.
+        """
+        groups = self._groups()
+        lengths = [len(self.axes[group[0]]) for group in groups]
+        cells: list[Cell] = []
+        for combo in itertools.product(*(range(length) for length in lengths)):
+            coords: dict[str, Any] = {}
+            for group, index in zip(groups, combo):
+                for axis in group:
+                    coords[axis] = self.axes[axis][index]
+            n = coords["n"]
+            spec_dict = {
+                "protocol": coords["protocol"],
+                "n": n,
+                "noise": coords["noise"],
+                "initializer": coords["initializer"],
+                "trials": self.trials,
+                "max_rounds": self.resolve_max_rounds(n),
+                "stability_rounds": self.stability_rounds,
+                "engine": self.engine,
+                "measure": self.measure,
+            }
+            seed = derive_cell_seed(self.seed, spec_dict)
+            cells.append(Cell(seed=seed, **spec_dict))
+        return cells
+
+    # --------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "trials": self.trials,
+            "axes": self.axes,
+            "zipped": self.zipped,
+            "max_rounds": self.max_rounds,
+            "max_rounds_factor": self.max_rounds_factor,
+            "min_rounds": self.min_rounds,
+            "stability_rounds": self.stability_rounds,
+            "engine": self.engine,
+            "measure": self.measure,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        known = {
+            "name",
+            "seed",
+            "trials",
+            "axes",
+            "zipped",
+            "max_rounds",
+            "max_rounds_factor",
+            "min_rounds",
+            "stability_rounds",
+            "engine",
+            "measure",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep spec keys {sorted(unknown)}; known keys: {sorted(known)}")
+        for required in ("axes", "trials"):
+            if required not in data:
+                raise ValueError(f"sweep spec needs a {required!r} key")
+        return cls(**data)
+
+
+def load_spec(path: str | Path) -> SweepSpec:
+    """Load a :class:`SweepSpec` from a JSON file."""
+    with Path(path).open() as handle:
+        return SweepSpec.from_dict(json.load(handle))
+
+
+def fet_demo_spec(seed: int = 0) -> SweepSpec:
+    """The built-in FET demo grid behind ``repro sweep`` with no ``--spec``.
+
+    Six cells — FET with the paper's ℓ = ⌈8·ln n⌉ over three population
+    sizes from the two canonical starts — small enough to finish in seconds
+    while exercising grid expansion, parallel dispatch, and the store.
+    """
+    return SweepSpec(
+        name="fet-demo",
+        seed=seed,
+        trials=20,
+        axes={
+            "protocol": ["fet"],
+            "n": [100, 200, 400],
+            "initializer": ["all-wrong", {"name": "bernoulli", "p": 0.5}],
+        },
+    )

@@ -1,0 +1,97 @@
+"""Persistent results store: resumable JSON-lines cache of cell results.
+
+One line per completed cell, appended (and flushed) the moment the cell
+finishes, keyed by the content hash of the cell's spec + derived seed
+(:meth:`~repro.sweep.spec.Cell.key`). Because the key covers everything
+that determines a cell's result, a store hit is interchangeable with a
+fresh computation — which gives the two behaviors the orchestrator builds
+on:
+
+* **resume after interrupt** — a killed sweep leaves a valid line per
+  finished cell (at worst one truncated tail line, which loading skips);
+  re-running the same sweep recomputes only the missing cells;
+* **skip-if-cached** — re-running a fully-stored sweep executes nothing,
+  and editing any knob of a cell (seed, trials, budget, protocol
+  parameters) changes its key, so stale entries can never be served.
+
+The file format is self-describing (each line carries the full cell spec
+alongside its payload), so a store doubles as a flat archive of everything
+a machine has ever computed for a grid — later lines win when a key was
+recomputed (``--force``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["ResultsStore"]
+
+
+class ResultsStore:
+    """Append-only JSON-lines store mapping cell keys to result records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self.corrupt_lines = 0
+        self._needs_newline = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open() as handle:
+            raw = ""
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Interrupted mid-append: the tail line is torn. Keep the
+                    # valid prefix; the lost cell simply gets recomputed.
+                    self.corrupt_lines += 1
+                    continue
+                self._records[key] = record
+            # A file killed mid-append can end without a newline; the next
+            # append must open a fresh line or it would corrupt a record by
+            # concatenating onto the torn tail.
+            self._needs_newline = bool(raw) and not raw.endswith("\n")
+
+    # ---------------------------------------------------------------- access
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or ``None`` on a miss."""
+        return self._records.get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        """Persist ``record`` under ``key``: append one line and flush.
+
+        Flushing per cell keeps the on-disk file a valid resume point
+        throughout a run, not only after a clean exit.
+        """
+        record = dict(record)
+        record["key"] = key
+        self._records[key] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            if self._needs_newline:
+                handle.write("\n")
+                self._needs_newline = False
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def keys(self) -> list[str]:
+        return list(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultsStore(path={str(self.path)!r}, entries={len(self)})"

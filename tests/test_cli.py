@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -32,6 +34,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.spec is None
+        assert args.jobs == 1
+        assert args.store is None
+        assert args.out is None
+        assert args.force is False
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--spec", "grid.json", "--jobs", "4", "--store", "s.jsonl", "--force"]
+        )
+        assert args.spec == "grid.json"
+        assert args.jobs == 4
+        assert args.store == "s.jsonl"
+        assert args.force is True
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -59,6 +79,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "fit T(n)" in out
+
+    def test_sweep_runs_spec_with_store_and_csv(self, capsys, tmp_path):
+        spec = {
+            "name": "cli-grid",
+            "seed": 3,
+            "trials": 2,
+            "axes": {
+                "protocol": [{"name": "fet", "ell": 10}],
+                "n": [100, 150],
+                "initializer": ["all-wrong"],
+            },
+            "max_rounds": 300,
+        }
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps(spec))
+        store = tmp_path / "store.jsonl"
+        out = tmp_path / "grid.csv"
+
+        code = main(
+            ["sweep", "--spec", str(spec_path), "--jobs", "2",
+             "--store", str(store), "--out", str(out)]
+        )
+        first = capsys.readouterr().out
+        assert code == 0
+        assert "cli-grid" in first
+        assert "executed 2 cell(s), 0 served from store" in first
+        assert out.exists() and store.exists()
+
+        # Same spec again: every cell is served from the store.
+        code = main(["sweep", "--spec", str(spec_path), "--store", str(store)])
+        second = capsys.readouterr().out
+        assert code == 0
+        assert "executed 0 cell(s), 2 served from store" in second
+
+    def test_sweep_demo_grid_runs(self, capsys):
+        code = main(["sweep"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fet-demo" in out
+        assert "fet(ell=37)" in out  # ell_for(100) on the demo grid
 
     def test_demo_seed_reproducible(self, capsys):
         main(["--seed", "5", "demo", "-n", "400"])

@@ -85,11 +85,38 @@ class TestRunTrials:
         )
         assert stats.successes == 2
 
-    def test_rejects_zero_trials(self):
-        with pytest.raises(ValueError):
-            run_trials(
+    def test_zero_trials_degrade_gracefully(self):
+        with np.errstate(all="raise"):  # any division warning would raise
+            stats = run_trials(
                 lambda: FETProtocol(10), 100, AllWrong(), trials=0, max_rounds=10, seed=0
             )
+            assert stats.trials == 0
+            assert stats.successes == 0
+            assert stats.times.size == 0
+            assert np.isnan(stats.success_rate)
+            assert all(np.isnan(v) for v in stats.success_interval)
+            assert stats.time_summary().count == 0
+            assert stats.protocol_name == "fet(ell=10)"
+            row = stats.row()
+            assert row["success"] == "0/0"
+
+    def test_rejects_negative_trials(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_trials(
+                lambda: FETProtocol(10), 100, AllWrong(), trials=-1, max_rounds=10, seed=0
+            )
+
+    def test_rejects_nonpositive_max_rounds(self):
+        for max_rounds in (0, -5):
+            with pytest.raises(ValueError, match="max_rounds"):
+                run_trials(
+                    lambda: FETProtocol(10),
+                    100,
+                    AllWrong(),
+                    trials=2,
+                    max_rounds=max_rounds,
+                    seed=0,
+                )
 
 
 class TestSweeps:

@@ -5,9 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.batch import BatchedPopulation
 from repro.core.engine import run_protocol
 from repro.core.population import make_majority_population, make_population
 from repro.core.rng import make_rng
+from repro.experiments.harness import run_trials
 from repro.initializers.adversarial import (
     FrozenUnanimity,
     PoisonedCounters,
@@ -194,3 +196,94 @@ class TestFrozenUnanimity:
         result = run_protocol(proto, pop, 300, rng=rng, state=state)
         assert not result.converged
         assert (result.trajectory == 0.0).all()
+
+
+class TestAdversarialBatched:
+    """Batched application of the crafted adversarial constructions."""
+
+    def batch(self, n=60, replicas=8, ell=10):
+        proto = FETProtocol(ell)
+        rng = make_rng(0)
+        batch = BatchedPopulation.from_population(make_population(n, 1), replicas)
+        states = proto.init_state_batch(replicas, n, rng)
+        return proto, batch, states, rng
+
+    def test_all_support_batch(self):
+        for init in (TwoRoundTarget(0.3, 0.7), ZeroSpeedCenter(), PoisonedCounters(), FrozenUnanimity()):
+            assert init.supports_batch
+
+    def test_two_round_target_rows(self):
+        proto, batch, states, rng = self.batch()
+        TwoRoundTarget(0.25, 0.5).apply_batch(batch, proto, states, rng)
+        # Every replica holds fraction x_now up to source re-pinning (1 source).
+        counts = batch.count_ones()
+        assert ((counts >= 30) & (counts <= 31)).all()
+        # Counters are Binomial(ell, x_prev) per agent: in range, and not all
+        # rows identical (independent draws per replica).
+        prev = states["prev_count"]
+        assert prev.shape == (8, 60)
+        assert prev.min() >= 0 and prev.max() <= 10
+        assert len(np.unique(prev.sum(axis=1))) > 1
+
+    def test_two_round_needs_ell(self):
+        class NoEll:
+            name = "no-ell"
+
+            def init_state(self, n, rng):
+                return {"prev_count": np.zeros(n, dtype=np.int64)}
+
+        proto, batch, states, rng = self.batch()
+        with pytest.raises(ValueError, match="ell"):
+            TwoRoundTarget(0.5, 0.5).apply_batch(batch, NoEll(), states, rng)
+
+    def test_zero_speed_center_delegates(self):
+        proto, batch, states, rng = self.batch(n=80)
+        ZeroSpeedCenter().apply_batch(batch, proto, states, rng)
+        counts = batch.count_ones()
+        assert ((counts >= 40) & (counts <= 41)).all()
+
+    def test_poisoned_counters_batch(self):
+        proto, batch, states, rng = self.batch()
+        PoisonedCounters().apply_batch(batch, proto, states, rng)
+        nonsource = batch.opinions[:, ~batch.source_mask]
+        assert (nonsource == 0).all()  # every non-source wrong
+        assert (batch.opinions[:, batch.source_mask] == 1).all()  # sources pinned
+        assert (states["prev_count"] == 10).all()
+
+    def test_frozen_unanimity_batch(self):
+        proto = FETProtocol(8)
+        rng = make_rng(0)
+        pop = make_majority_population(40, k0=10, k1=5)
+        batch = BatchedPopulation.from_population(pop, 4)
+        states = proto.init_state_batch(4, 40, rng)
+        FrozenUnanimity(opinion=1).apply_batch(batch, proto, states, rng)
+        assert (batch.opinions == 1).all()
+        assert (states["prev_count"] == 8).all()
+
+    def test_frozen_unanimity_batch_rejects_pinned(self):
+        proto, batch, states, rng = self.batch()
+        with pytest.raises(ValueError, match="majority variant"):
+            FrozenUnanimity().apply_batch(batch, proto, states, rng)
+
+    def test_batched_harness_uses_fast_path(self):
+        """Adversarial cells take the vectorized init branch end to end."""
+        stats = run_trials(
+            lambda: FETProtocol(30),
+            300,
+            PoisonedCounters(),
+            trials=6,
+            max_rounds=1500,
+            seed=0,
+            engine="batched",
+        )
+        assert stats.engine == "batched"
+        assert stats.successes == 6
+
+    def test_batched_matches_sequential_profile(self):
+        """Same construction, both engines: equal success profile (the
+        batched path is exact in distribution, not bitwise)."""
+        kwargs = dict(trials=5, max_rounds=1500, seed=7)
+        for init in (ZeroSpeedCenter(), TwoRoundTarget(0.5, 0.5)):
+            seq = run_trials(lambda: FETProtocol(30), 300, init, engine="sequential", **kwargs)
+            bat = run_trials(lambda: FETProtocol(30), 300, init, engine="batched", **kwargs)
+            assert seq.successes == bat.successes == 5
