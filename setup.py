@@ -1,6 +1,26 @@
 """Setup shim: enables legacy editable installs in offline environments
-where the `wheel` package (needed for PEP 660 builds) is unavailable."""
+where the `wheel` package (needed for PEP 660 builds) is unavailable.
 
-from setuptools import setup
+Packages are declared explicitly (src layout) so every subpackage —
+including the newer layers like ``repro.sweep`` and ``repro.trace`` — ships
+in installs; the version is read from ``repro.__init__`` without importing
+the package (imports would require the runtime dependencies at build time).
+"""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="repro",
+    version=_VERSION,
+    description="Reproduction of Korman & Vacus (PODC 2022): self-stabilizing "
+    "information spread using passive communication",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+)

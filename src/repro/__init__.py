@@ -17,7 +17,12 @@ Communication" (arXiv:2203.11522). The package provides:
   (:mod:`repro.experiments`, :mod:`repro.stats`, :mod:`repro.viz`);
 * the parallel sweep orchestrator (:mod:`repro.sweep`): declarative
   experiment grids fanned out over worker processes with a persistent,
-  resumable results store — the front door is ``python -m repro sweep``.
+  resumable results store — the front door is ``python -m repro sweep``;
+* the trace subsystem (:mod:`repro.trace`): batched per-replica trajectory
+  recording (full, strided, or ring-buffered) with vectorized trace-derived
+  measures — the layer that runs the trajectory-shaped workloads
+  (``keep_results``, Figure 1b transitions, θ/settle sweeps) on the batched
+  engine; ``python -m repro trace`` charts and exports recorded runs.
 
 Quickstart::
 
@@ -69,16 +74,19 @@ from .protocols import (
     ell_for,
 )
 from .sweep import ResultsStore, SweepResult, SweepSpec, run_sweep
+from .trace import BatchTrace, FullTrace, RingBufferTrace, TraceRecorder
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BatchTrace",
     "BinomialCountSampler",
     "ClockSyncProtocol",
     "Domain",
     "DomainPartition",
     "ExactPairChain",
     "FETProtocol",
+    "FullTrace",
     "IndexSampler",
     "MajorityProtocol",
     "MajoritySamplingProtocol",
@@ -86,11 +94,13 @@ __all__ = [
     "PopulationState",
     "Protocol",
     "ResultsStore",
+    "RingBufferTrace",
     "RunResult",
     "SimpleTrendProtocol",
     "SweepResult",
     "SweepSpec",
     "SynchronousEngine",
+    "TraceRecorder",
     "UndecidedStateProtocol",
     "VoterProtocol",
     "YellowArea",

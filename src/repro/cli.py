@@ -8,6 +8,8 @@ Small, dependency-free front door for the library's main entry points:
 * ``compare``— FET vs. the baseline protocols from the all-wrong start.
 * ``sweep``  — a declarative experiment grid (JSON spec or the built-in FET
   demo grid) run through the parallel, resumable sweep orchestrator.
+* ``trace``  — record per-replica trajectories of a batched run (full,
+  strided, or ring-buffered), chart the reduced curve, and export CSV.
 
 Each command accepts ``--seed`` and prints plain text; exit code 0 on
 success. The heavy, assertion-carrying versions of these experiments live in
@@ -22,18 +24,30 @@ import sys
 from typing import Sequence
 
 from .analysis.domains import DomainPartition
+from .core.batch import BatchedEngine
 from .core.engine import run_protocol
+from .core.noise import BatchedNoisyCountSampler
 from .core.population import make_population
 from .core.rng import make_rng
-from .experiments.convergence import fit_scaling, sweep_population_sizes
-from .experiments.harness import run_trials
+from .experiments.convergence import default_round_budget, fit_scaling, sweep_population_sizes
+from .experiments.harness import prepare_batch, run_trials
 from .initializers.standard import AllWrong
 from .protocols.fet import FETProtocol, ell_for
 from .protocols.majority_sampling import MajoritySamplingProtocol
 from .protocols.oracle_clock import OracleClockProtocol
 from .protocols.voter import VoterProtocol
-from .sweep import fet_demo_spec, load_spec, run_sweep
-from .viz.ascii_grid import render_domain_map, render_trajectory
+from .sweep import (
+    build_initializer,
+    build_protocol,
+    fet_demo_spec,
+    initializer_names,
+    load_spec,
+    protocol_names,
+    run_sweep,
+)
+from .trace import make_recorder, settle_rounds
+from .viz.ascii_grid import render_batch_trace, render_domain_map, render_trajectory
+from .viz.csv_out import write_trace_csv
 from .viz.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -79,6 +93,54 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument(
         "--force", action="store_true", help="recompute cells even when the store has them"
     )
+
+    trace_cmd = sub.add_parser(
+        "trace", help="record batched trajectories: chart the reduced curve, export CSV"
+    )
+    trace_cmd.add_argument("-n", type=int, default=1000, help="population size (default 1000)")
+    trace_cmd.add_argument(
+        "--protocol",
+        type=str,
+        default="fet",
+        help=f"protocol name (default fet; known: {', '.join(protocol_names())})",
+    )
+    trace_cmd.add_argument(
+        "--init",
+        type=str,
+        default="all-wrong",
+        help=f"initializer name (default all-wrong; known: {', '.join(initializer_names())})",
+    )
+    trace_cmd.add_argument(
+        "--replicas", type=int, default=8, help="independent trials to record (default 8)"
+    )
+    trace_cmd.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="round budget (default: the poly-log rule max(200, 40*(ln n)^2.5))",
+    )
+    trace_cmd.add_argument(
+        "--stride", type=int, default=1, help="record every S-th round (default 1)"
+    )
+    trace_cmd.add_argument(
+        "--ring",
+        type=int,
+        default=None,
+        help="keep only the most recent CAP recorded rounds (default: keep all)",
+    )
+    trace_cmd.add_argument(
+        "--flips", action="store_true", help="also record per-replica opinion flips"
+    )
+    trace_cmd.add_argument(
+        "--noise", type=float, default=0.0, help="per-bit observation noise epsilon (default 0)"
+    )
+    trace_cmd.add_argument(
+        "--reducer",
+        choices=["mean", "median", "min", "max"],
+        default="mean",
+        help="cross-replica statistic for the chart (default mean)",
+    )
+    trace_cmd.add_argument("--out", type=str, default=None, help="write the long-form trace CSV here")
 
     compare = sub.add_parser("compare", help="FET vs baselines from the all-wrong start")
     compare.add_argument("-n", type=int, default=1000, help="population size (default 1000)")
@@ -160,6 +222,44 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    protocol = build_protocol({"name": args.protocol}, args.n)
+    initializer = build_initializer({"name": args.init})
+    batch, states, rng = prepare_batch(
+        protocol, args.n, initializer, trials=args.replicas, seed=args.seed
+    )
+    recorder = make_recorder(ring=args.ring, stride=args.stride, record_flips=args.flips)
+    engine = BatchedEngine(
+        protocol, batch, sampler=BatchedNoisyCountSampler(args.noise), rng=rng, states=states
+    )
+    budget = args.max_rounds if args.max_rounds is not None else default_round_budget(args.n)
+    result = engine.run(budget, recorder=recorder)
+    trace = recorder.trace()
+    settled = settle_rounds(trace.x, trace.rounds)
+    print(
+        f"{protocol.name}: n={args.n}, {initializer.name} start, {args.replicas} replica(s), "
+        f"budget {budget} rounds"
+        + (f", noise eps={args.noise}" if args.noise else "")
+    )
+    table = [
+        [
+            r,
+            bool(result.converged[r]),
+            int(result.rounds[r]),
+            f"{trace.x[r, -1]:.3f}",
+            int(settled[r]),
+        ]
+        for r in range(trace.replicas)
+    ]
+    print(format_table(["replica", "converged", "t_con", "final x", "settled at"], table))
+    print()
+    print(render_batch_trace(trace, reducer=args.reducer))
+    if args.out:
+        path = write_trace_csv(args.out, trace)
+        print(f"wrote {path}")
+    return 0 if result.converged.all() else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
     result = run_sweep(spec, jobs=args.jobs, store=args.store, force=args.force)
@@ -181,6 +281,7 @@ _COMMANDS = {
     "scale": _cmd_scale,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
 }
 
 

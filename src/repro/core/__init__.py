@@ -24,9 +24,12 @@ configuration*. Two layers keep it fast:
 The batched fast path applies to memoryless-*sampling* protocols (observation
 = 1-count): everything whose scalar ``step`` consumes ``sampler.counts`` /
 ``count_blocks``. Protocols that materialize identities (index-level or
-non-passive baselines) and consumers that record per-round trajectories or
-flip logs stay on the per-trial :class:`SynchronousEngine`;
-``run_trials(engine="auto")`` picks the right engine per call.
+non-passive baselines) stay on the per-trial :class:`SynchronousEngine`;
+``run_trials(engine="auto")`` picks the right engine per call. Per-round
+trajectory and flip logs are served on *both* engines by the trace subsystem
+(:mod:`repro.trace`): a recorder hooks the round loop and keeps per-replica
+curves across retirement, so trajectory-shaped consumers ride the batched
+path too.
 
 A third layer sits above both: one ``(R, n)`` batch saturates a single core,
 so **sweep cells** — independent (protocol, n, noise, initializer) grid

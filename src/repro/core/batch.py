@@ -30,13 +30,16 @@ not masked), so late rounds with few stragglers cost ``O(active × n)``, not
 The batched path is exact in distribution, not bitwise identical to looping
 :class:`~repro.core.engine.SynchronousEngine` over trials: replicas consume a
 shared dynamics stream instead of per-trial streams. Trajectory- and
-flip-recording consumers keep using the sequential engine.
+flip-recording consumers attach a :class:`~repro.trace.recorder.TraceRecorder`
+(``run(recorder=...)``): the engine reports the full ``(R,)`` one-fraction
+(and optionally flip-count) vector every round, with retired rows frozen at
+their final value, so per-round logs survive retirement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -44,6 +47,9 @@ from .population import PopulationState
 from .protocol import Protocol, ProtocolState
 from .rng import as_rng
 from .sampling import BatchedBinomialSampler, BatchedSampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; trace layers on core
+    from ..trace.recorder import TraceRecorder
 
 __all__ = [
     "BatchedPopulation",
@@ -411,6 +417,8 @@ class BatchedEngine:
         *,
         stability_rounds: int = 2,
         stop_condition: Callable[[BatchedPopulation], np.ndarray] | None = None,
+        recorder: "TraceRecorder | None" = None,
+        linger_rounds: int = 0,
     ) -> BatchRunResult:
         """Run until every replica converged (condition held for
         ``stability_rounds`` consecutive observations) or ``max_rounds``.
@@ -418,6 +426,20 @@ class BatchedEngine:
         ``stop_condition`` optionally replaces the correct-consensus test; it
         must map a :class:`BatchedPopulation` to an ``(A,)`` boolean vector
         over its rows (e.g. :meth:`BatchedPopulation.at_consensus`).
+
+        ``recorder`` optionally captures per-replica trajectories: the engine
+        reports the full ``(R,)`` one-fraction vector (and, when the recorder
+        asks for them, per-replica flip counts) for round 0 and after every
+        executed round, with retired rows frozen at their final values.
+
+        ``linger_rounds`` keeps a replica running that many extra rounds
+        after its convergence is detected before retiring it — convergence
+        accounting (``converged``/``rounds``) is locked at detection and not
+        revisited. This is the settle-window hook: the sequential θ measure
+        keeps stepping an engine after its stop condition fired, and linger
+        reproduces that per replica under retirement (the extra rounds are
+        allowed to run past ``max_rounds``, exactly as sequential settle
+        stepping does).
 
         Single-shot: retirement compacts the protocol state down to the
         replicas that were still running, so a second ``run`` on the same
@@ -434,6 +456,8 @@ class BatchedEngine:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
         if stability_rounds < 1:
             raise ValueError(f"stability_rounds must be >= 1, got {stability_rounds}")
+        if linger_rounds < 0:
+            raise ValueError(f"linger_rounds must be non-negative, got {linger_rounds}")
         condition = stop_condition or BatchedPopulation.at_correct_consensus
 
         total = self.batch.replicas
@@ -447,17 +471,50 @@ class BatchedEngine:
         work = self.batch.select(ids)
         states = self.states
 
+        wants_flips = recorder is not None and getattr(recorder, "record_flips", False)
+        if recorder is not None:
+            prefs = self.batch.source_preferences[self.batch.source_mask]
+            recorder.bind(
+                replicas=total,
+                n=self.batch.n,
+                num_sources=self.batch.num_sources,
+                sources_correct=int((prefs == self.batch.correct_opinion).sum()),
+                correct_opinion=self.batch.correct_opinion,
+                pin_each_round=self.batch.pin_each_round,
+            )
+            # Full-batch value vectors; retired rows simply stop being
+            # written, which freezes them at their final values.
+            current_x = work.fraction_ones().astype(float)
+            current_flips = np.zeros(total, dtype=np.int64)
+            recorder.on_round(0, current_x, current_flips if wants_flips else None)
+
         ok = condition(work)
         streak = ok.astype(np.int64)
         first_hit = np.where(ok, 0, -1)
+        # Lock/linger bookkeeping: a replica whose streak reaches the
+        # stability window is *locked* (its outcome is final) but keeps
+        # stepping for ``linger_rounds`` more rounds before it retires.
+        locked = np.zeros(total, dtype=bool)
+        locked_round = np.full(total, -1, dtype=np.int64)
+        countdown = np.zeros(total, dtype=np.int64)
         rounds_done = 0
 
         while True:
-            done = streak >= stability_rounds
+            newly_locked = ~locked & (streak >= stability_rounds)
+            if newly_locked.any():
+                locked_round = np.where(newly_locked, first_hit, locked_round)
+                countdown = np.where(newly_locked, linger_rounds, countdown)
+                locked = locked | newly_locked
+            done = locked & (countdown <= 0)
+            if rounds_done >= max_rounds:
+                # Budget exhausted: unconverged replicas stop here; locked
+                # replicas mid-linger keep stepping their settle window out.
+                done = done | ~locked
             if done.any():
                 retired = ids[done]
-                converged[retired] = True
-                rounds[retired] = first_hit[done]
+                conv = locked[done]
+                converged[retired] = conv
+                rounds[retired] = np.where(conv, locked_round[done], rounds_done)
                 rounds_executed[retired] = rounds_done
                 self.batch.opinions[retired] = work.opinions[done]
                 keep = ~done
@@ -465,23 +522,40 @@ class BatchedEngine:
                 ids = ids[keep]
                 streak = streak[keep]
                 first_hit = first_hit[keep]
+                locked = locked[keep]
+                locked_round = locked_round[keep]
+                countdown = countdown[keep]
                 if ids.size:
                     work = work.select(keep)
-            if rounds_done >= max_rounds or ids.size == 0:
+            if ids.size == 0:
                 break
+            old = work.opinions.copy() if wants_flips else None
             new = self.protocol.step_batch(work, states, self.sampler, self.rng)
             work.set_opinions(new)
             rounds_done += 1
             self.round_index += 1
+            countdown = countdown - locked
             ok = condition(work)
-            newly = ok & (streak == 0)
-            streak = np.where(ok, streak + 1, 0)
-            first_hit = np.where(ok, np.where(newly, rounds_done, first_hit), -1)
+            # Locked replicas stop tracking the condition: their outcome was
+            # sealed at detection (mirrors sequential settle stepping, which
+            # never re-checks).
+            tracking = ~locked
+            newly_ok = ok & (streak == 0) & tracking
+            streak = np.where(tracking, np.where(ok, streak + 1, 0), streak)
+            first_hit = np.where(
+                tracking,
+                np.where(ok, np.where(newly_ok, rounds_done, first_hit), -1),
+                first_hit,
+            )
+            if recorder is not None:
+                current_x[ids] = work.fraction_ones()
+                if wants_flips:
+                    current_flips[:] = 0
+                    current_flips[ids] = np.count_nonzero(work.opinions != old, axis=1)
+                    recorder.on_round(rounds_done, current_x, current_flips)
+                else:
+                    recorder.on_round(rounds_done, current_x, None)
 
-        if ids.size:
-            self.batch.opinions[ids] = work.opinions
-            rounds[ids] = rounds_done
-            rounds_executed[ids] = rounds_done
         self.states = states
         self.batch.invalidate_cache()
         return BatchRunResult(
@@ -502,8 +576,9 @@ def run_protocol_batched(
     rng: int | np.random.Generator | None = None,
     states: ProtocolState | None = None,
     stability_rounds: int = 2,
+    recorder: "TraceRecorder | None" = None,
 ) -> BatchRunResult:
     """One-shot convenience: tile ``population`` and run the batched engine."""
     batch = BatchedPopulation.from_population(population, replicas)
     engine = BatchedEngine(protocol, batch, sampler=sampler, rng=rng, states=states)
-    return engine.run(max_rounds, stability_rounds=stability_rounds)
+    return engine.run(max_rounds, stability_rounds=stability_rounds, recorder=recorder)

@@ -16,7 +16,7 @@ window of 2 therefore makes the detection exact rather than heuristic.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from .protocol import Protocol, ProtocolState
 from .records import RoundRecord, RunResult
 from .rng import as_rng
 from .sampling import BinomialCountSampler, Sampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; trace layers on core
+    from ..trace.recorder import TraceRecorder
 
 __all__ = ["SynchronousEngine", "run_protocol"]
 
@@ -96,12 +99,18 @@ class SynchronousEngine:
         stability_rounds: int = 2,
         record_flips: bool = False,
         stop_condition: Callable[[PopulationState], bool] | None = None,
+        recorder: "TraceRecorder | None" = None,
     ) -> RunResult:
         """Run until convergence (correct consensus held for
         ``stability_rounds`` consecutive observations) or ``max_rounds``.
 
         ``stop_condition`` optionally replaces the correct-consensus test,
         e.g. for experiments that stop on *any* consensus (baseline dynamics).
+
+        ``recorder`` optionally mirrors the run into the trace subsystem as a
+        one-replica batch — the same :class:`~repro.trace.recorder.BatchTrace`
+        shape the batched engine produces, which is what the
+        batched-vs-sequential trace cross-checks compare.
         """
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
@@ -110,6 +119,23 @@ class SynchronousEngine:
         condition = stop_condition or PopulationState.at_correct_consensus
         trajectory = [self.population.fraction_ones()]
         flip_log: list[int] = []
+        wants_flips = recorder is not None and getattr(recorder, "record_flips", False)
+        if recorder is not None:
+            population = self.population
+            prefs = population.source_preferences[population.source_mask]
+            recorder.bind(
+                replicas=1,
+                n=population.n,
+                num_sources=int(population.source_mask.sum()),
+                sources_correct=int((prefs == population.correct_opinion).sum()),
+                correct_opinion=population.correct_opinion,
+                pin_each_round=population.pin_each_round,
+            )
+            recorder.on_round(
+                0,
+                np.array([trajectory[0]], dtype=float),
+                np.zeros(1, dtype=np.int64) if wants_flips else None,
+            )
         streak = 1 if condition(self.population) else 0
         first_hit = 0 if streak else -1
         converged = streak >= stability_rounds
@@ -120,6 +146,12 @@ class SynchronousEngine:
             trajectory.append(record.x_after)
             if record_flips:
                 flip_log.append(record.flips)
+            if recorder is not None:
+                recorder.on_round(
+                    rounds_done,
+                    np.array([record.x_after], dtype=float),
+                    np.array([record.flips], dtype=np.int64) if wants_flips else None,
+                )
             if condition(self.population):
                 if streak == 0:
                     first_hit = rounds_done

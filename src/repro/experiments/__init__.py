@@ -1,11 +1,17 @@
 """Experiment harnesses: trial batches, scaling sweeps, domain transitions."""
 
 from .adaptivity import AdaptivityResult, run_changing_environment
-from .convergence import ScalingRow, fit_scaling, sweep_population_sizes, sweep_sample_sizes
-from .harness import TrialStats, run_trials
+from .convergence import (
+    ScalingRow,
+    default_round_budget,
+    fit_scaling,
+    sweep_population_sizes,
+    sweep_sample_sizes,
+)
+from .harness import TrialStats, prepare_batch, run_trials
 from .multisource import SourceRow, sweep_sources
 from .robustness import NoiseRow, sweep_noise
-from .trajectories import AnnotatedRun, run_annotated
+from .trajectories import AnnotatedRun, run_annotated, run_annotated_batch
 from .transitions import TransitionSummary, collect_transitions
 from .worst_case import WorstCaseResult, search_worst_start
 
@@ -19,8 +25,11 @@ __all__ = [
     "TrialStats",
     "WorstCaseResult",
     "collect_transitions",
+    "default_round_budget",
     "fit_scaling",
+    "prepare_batch",
     "run_annotated",
+    "run_annotated_batch",
     "run_changing_environment",
     "run_trials",
     "search_worst_start",

@@ -27,7 +27,24 @@ from ..sweep.spec import SweepSpec
 from ..sweep.store import ResultsStore
 from .harness import TrialStats
 
-__all__ = ["ScalingRow", "sweep_population_sizes", "sweep_sample_sizes", "fit_scaling"]
+__all__ = [
+    "ScalingRow",
+    "default_round_budget",
+    "fit_scaling",
+    "sweep_population_sizes",
+    "sweep_sample_sizes",
+]
+
+
+def default_round_budget(n: int) -> int:
+    """The Theorem-1 poly-log round budget: ``max(200, 40·(ln n)^2.5)``.
+
+    The one definition of the convention shared by the single-run drivers
+    (``repro trace``, the sample-size ablation); ``SweepSpec`` keeps its own
+    *parameterized* resolver (``max_rounds_factor``/``min_rounds``) because
+    those knobs are part of every cell's seed-deriving content hash.
+    """
+    return max(200, int(40 * np.log(n) ** 2.5))
 
 
 @dataclass(frozen=True)
@@ -93,7 +110,7 @@ def sweep_sample_sizes(
     """Measure FET convergence at fixed ``n`` for each sample size ℓ."""
     initializer = initializer if initializer is not None else AllWrong()
     if max_rounds is None:
-        max_rounds = max(200, int(40 * np.log(n) ** 2.5))
+        max_rounds = default_round_budget(n)
     spec = SweepSpec(
         name="sample-size-ablation",
         seed=seed,

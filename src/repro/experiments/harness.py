@@ -7,17 +7,20 @@ benchmark table.
 Two execution engines are available (``engine=`` keyword):
 
 * ``"sequential"`` — one :class:`SynchronousEngine` per trial, each on its own
-  spawned RNG stream. Required by consumers that need per-trial trajectories
-  or flip logs (``keep_results=True``).
+  spawned RNG stream.
 * ``"batched"`` — all trials as one ``(R, n)`` system on the
   :class:`~repro.core.batch.BatchedEngine`: initial configurations are built
   per trial on the *same* spawned streams as the sequential path (so the
   initial-condition distribution is bitwise identical), then all replicas
   advance in lock-step and retire individually on convergence. Statistically
-  equivalent, several times faster for many-trial sweeps.
+  equivalent, several times faster for many-trial sweeps. Per-trial
+  trajectory consumers (``keep_results=True``) are served by attaching a
+  :class:`~repro.trace.FullTrace` recorder and converting the recorded
+  ``(R, T)`` matrix back into per-trial :class:`RunResult` objects.
 * ``"auto"`` (default) — batched when the protocol ships a vectorized
   ``step_batch`` (``Protocol.batch_vectorized``) and nothing forces the
-  sequential path; sequential otherwise.
+  sequential path; sequential otherwise. ``engine="sequential"`` remains the
+  explicit escape hatch for bitwise per-trial streams.
 """
 
 from __future__ import annotations
@@ -30,14 +33,15 @@ import numpy as np
 from ..core.batch import BatchedEngine, BatchedPopulation, stack_states
 from ..core.engine import SynchronousEngine
 from ..core.population import PopulationState, make_population
-from ..core.protocol import Protocol
+from ..core.protocol import Protocol, ProtocolState
 from ..core.records import RunResult
 from ..core.rng import spawn_rngs
 from ..core.sampling import BatchedBinomialSampler, BatchedSampler, Sampler
 from ..initializers.standard import Initializer
 from ..stats.summary import TimesSummary, describe_times, wilson_interval
+from ..trace import FullTrace
 
-__all__ = ["TrialStats", "run_trials"]
+__all__ = ["TrialStats", "prepare_batch", "run_trials"]
 
 
 @dataclass
@@ -120,23 +124,14 @@ def run_trials(
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
     if engine not in ("auto", "batched", "sequential"):
         raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {engine!r}")
-    if engine == "batched":
-        if keep_results:
-            raise ValueError(
-                "keep_results needs per-trial trajectories; use the sequential engine"
-            )
-        if sampler_factory is not None and batched_sampler is None:
-            raise ValueError(
-                "a custom sampler_factory needs a matching batched_sampler "
-                "for the batched engine"
-            )
+    if engine == "batched" and sampler_factory is not None and batched_sampler is None:
+        raise ValueError(
+            "a custom sampler_factory needs a matching batched_sampler "
+            "for the batched engine"
+        )
     probe: Protocol | None = None
     use_batched = engine == "batched"
-    if (
-        engine == "auto"
-        and not keep_results
-        and (sampler_factory is None or batched_sampler is not None)
-    ):
+    if engine == "auto" and (sampler_factory is None or batched_sampler is not None):
         probe = protocol_factory()
         use_batched = probe.batch_vectorized
     if trials == 0:
@@ -167,6 +162,7 @@ def run_trials(
             batched_sampler=batched_sampler,
             population_factory=population_factory,
             stability_rounds=stability_rounds,
+            keep_results=keep_results,
         )
     rngs = spawn_rngs(seed, trials)
     times: list[int] = []
@@ -208,20 +204,22 @@ def run_trials(
     )
 
 
-def _run_trials_batched(
+def prepare_batch(
     protocol: Protocol,
     n: int,
     initializer: Initializer,
     *,
     trials: int,
-    max_rounds: int,
     seed: int,
-    correct_opinion: int,
-    batched_sampler: BatchedSampler | None,
-    population_factory: Callable[[], PopulationState] | None,
-    stability_rounds: int,
-) -> TrialStats:
-    """All trials as one ``(R, n)`` system on the batched engine.
+    correct_opinion: int = 1,
+    population_factory: Callable[[], PopulationState] | None = None,
+) -> tuple[BatchedPopulation, ProtocolState, np.random.Generator]:
+    """Build the initialized ``(R, n)`` batch for ``trials`` trials of a run.
+
+    The shared front half of every batched workload (``run_trials``, the
+    trace-based θ sweep measure, the batched transition experiment): returns
+    the initialized batch, its stacked protocol states, and the generator for
+    the lock-step dynamics stream.
 
     With a batch-capable initializer and the default population layout, the
     whole initial batch is built with vectorized draws (one stream for
@@ -258,6 +256,39 @@ def _run_trials_batched(
             states.append(state)
         batch = BatchedPopulation.from_populations(populations)
         batch_states = stack_states(states)
+    return batch, batch_states, batch_rng
+
+
+def _run_trials_batched(
+    protocol: Protocol,
+    n: int,
+    initializer: Initializer,
+    *,
+    trials: int,
+    max_rounds: int,
+    seed: int,
+    correct_opinion: int,
+    batched_sampler: BatchedSampler | None,
+    population_factory: Callable[[], PopulationState] | None,
+    stability_rounds: int,
+    keep_results: bool,
+) -> TrialStats:
+    """All trials as one ``(R, n)`` system on the batched engine.
+
+    ``keep_results`` attaches a :class:`~repro.trace.FullTrace` recorder to
+    the run and converts the recorded trajectory matrix back into per-trial
+    :class:`RunResult` objects, so trajectory consumers get the batched
+    speedup too.
+    """
+    batch, batch_states, batch_rng = prepare_batch(
+        protocol,
+        n,
+        initializer,
+        trials=trials,
+        seed=seed,
+        correct_opinion=correct_opinion,
+        population_factory=population_factory,
+    )
     engine = BatchedEngine(
         protocol,
         batch,
@@ -265,7 +296,9 @@ def _run_trials_batched(
         rng=batch_rng,
         states=batch_states,
     )
-    result = engine.run(max_rounds, stability_rounds=stability_rounds)
+    recorder = FullTrace() if keep_results else None
+    result = engine.run(max_rounds, stability_rounds=stability_rounds, recorder=recorder)
+    results = recorder.trace().to_run_results(result) if recorder is not None else []
     return TrialStats(
         protocol_name=protocol.name,
         initializer_name=initializer.name,
@@ -274,5 +307,6 @@ def _run_trials_batched(
         max_rounds=max_rounds,
         successes=result.successes,
         times=result.times(),
+        results=results,
         engine="batched",
     )

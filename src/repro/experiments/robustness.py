@@ -18,7 +18,10 @@ correct fraction over a window after θ was reached).
 The driver runs on the sweep orchestrator (:mod:`repro.sweep`): each noise
 level becomes one cell of a grid with the ``theta`` measure, so the levels
 run in parallel across ``jobs`` worker processes and can persist/resume
-through a results ``store``.
+through a results ``store``. Since the trace subsystem landed, the ``theta``
+measure runs each cell's trials on the *batched* engine (trace-recorded, with
+per-replica settle windows served by linger-retirement); pass
+``engine="sequential"`` to force the original per-trial loop.
 """
 
 from __future__ import annotations
@@ -60,6 +63,7 @@ def sweep_noise(
     initializer: Initializer | None = None,
     jobs: int = 1,
     store: ResultsStore | str | Path | None = None,
+    engine: str = "auto",
 ) -> list[NoiseRow]:
     """Measure FET's θ-convergence time and settle level per noise level."""
     initializer = initializer if initializer is not None else AllWrong()
@@ -75,7 +79,7 @@ def sweep_noise(
         },
         max_rounds=max_rounds,
         stability_rounds=1,
-        engine="sequential",
+        engine=engine,
         measure={"kind": "theta", "theta": theta, "settle_window": settle_window},
     )
     outcome = run_sweep(spec, jobs=jobs, store=store)

@@ -1,8 +1,16 @@
-"""Single-run trajectory recording with domain annotation.
+"""Trajectory recording with domain annotation.
 
-Connects the simulator to the analysis layer: runs a protocol once, then
-labels every consecutive-fraction pair ``(x_t, x_{t+1})`` with its Figure 1a
-domain. Used by the Figure 1b experiment and by the trajectory examples.
+Connects the simulator to the analysis layer: runs a protocol and labels
+every consecutive-fraction pair ``(x_t, x_{t+1})`` with its Figure 1a domain.
+Used by the Figure 1b experiment and by the trajectory examples.
+
+Two entry points:
+
+* :func:`run_annotated` — one trial on the sequential engine (the original
+  single-run tour, and the cross-check reference for the batched path);
+* :func:`run_annotated_batch` — R independent trials as one batched run with
+  a :class:`~repro.trace.FullTrace` recorder; the recorded ``(R, T)`` matrix
+  is split back into per-trial trajectories and annotated identically.
 """
 
 from __future__ import annotations
@@ -12,14 +20,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.domains import Domain, DomainPartition
+from ..core.batch import BatchedEngine
 from ..core.engine import SynchronousEngine
 from ..core.population import make_population
 from ..core.protocol import Protocol
 from ..core.records import RunResult
 from ..core.rng import as_rng
 from ..initializers.standard import Initializer
+from ..trace import FullTrace
+from .harness import prepare_batch
 
-__all__ = ["AnnotatedRun", "run_annotated"]
+__all__ = ["AnnotatedRun", "run_annotated", "run_annotated_batch"]
 
 
 @dataclass
@@ -64,3 +75,40 @@ def run_annotated(
     partition = DomainPartition(n=n, delta=delta)
     domains = partition.classify_pairs(result.pairs())
     return AnnotatedRun(result=result, domains=domains)
+
+
+def run_annotated_batch(
+    protocol: Protocol,
+    n: int,
+    initializer: Initializer,
+    replicas: int,
+    *,
+    max_rounds: int,
+    seed: int,
+    correct_opinion: int = 1,
+    delta: float = 0.05,
+    stability_rounds: int = 2,
+) -> list[AnnotatedRun]:
+    """Run ``replicas`` trials batched and annotate each trajectory.
+
+    One lock-step :class:`~repro.core.batch.BatchedEngine` run with a
+    full-trace recorder replaces ``replicas`` sequential runs; each recorded
+    per-replica trajectory is trimmed to the rounds that replica executed and
+    classified exactly as :func:`run_annotated` classifies a sequential one.
+    """
+    batch, states, rng = prepare_batch(
+        protocol,
+        n,
+        initializer,
+        trials=replicas,
+        seed=seed,
+        correct_opinion=correct_opinion,
+    )
+    recorder = FullTrace()
+    engine = BatchedEngine(protocol, batch, rng=rng, states=states)
+    outcome = engine.run(max_rounds, stability_rounds=stability_rounds, recorder=recorder)
+    partition = DomainPartition(n=n, delta=delta)
+    return [
+        AnnotatedRun(result=result, domains=partition.classify_pairs(result.pairs()))
+        for result in recorder.trace().to_run_results(outcome)
+    ]

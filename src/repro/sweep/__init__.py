@@ -11,7 +11,9 @@ cells fast and repeatable:
 * :mod:`~repro.sweep.registry` — name → protocol/initializer builders, so
   cells are JSON-able and picklable;
 * :mod:`~repro.sweep.runner` — :func:`execute_cell`, the pure worker
-  function (consensus and θ-convergence measures);
+  function, plus the measure registry (consensus, trace-backed
+  θ-convergence/settle, and trajectory-trace measures;
+  :func:`register_measure` plugs in new kinds);
 * :mod:`~repro.sweep.dispatch` — serial and process-pool dispatchers with
   ordered collection;
 * :mod:`~repro.sweep.store` — the append-only JSON-lines
@@ -51,7 +53,13 @@ from .registry import (
     protocol_names,
     validate_cell,
 )
-from .runner import RESULT_COLUMNS, CellResult, execute_cell
+from .runner import (
+    RESULT_COLUMNS,
+    CellResult,
+    execute_cell,
+    measure_kinds,
+    register_measure,
+)
 from .spec import AXES, Cell, SweepSpec, derive_cell_seed, fet_demo_spec, load_spec
 from .store import ResultsStore
 
@@ -73,8 +81,10 @@ __all__ = [
     "initializer_names",
     "load_spec",
     "make_dispatcher",
+    "measure_kinds",
     "protocol_factory",
     "protocol_names",
+    "register_measure",
     "run_sweep",
     "validate_cell",
 ]

@@ -9,7 +9,9 @@ pool workers, or in a later resumed process, so aggregate output is
 reproducible regardless of scheduling, and cached store entries are
 interchangeable with fresh computations.
 
-Two measurement kinds are supported (``cell.measure["kind"]``):
+Measurement kinds live in a **registry** (:func:`register_measure`), so new
+trace-derived measures plug in without touching the spec or orchestrator.
+Three kinds ship built in (``cell.measure["kind"]``):
 
 ``consensus``
     Full convergence aggregates via
@@ -19,23 +21,40 @@ Two measurement kinds are supported (``cell.measure["kind"]``):
     counterpart so the fast path is preserved.
 ``theta``
     θ-convergence plus settle level — the robustness measurement of
-    :mod:`repro.experiments.robustness`: per-trial sequential runs stop when
-    the correct non-source fraction first reaches θ, then step on for a
-    settle window and record the mean level held.
+    :mod:`repro.experiments.robustness`. On the batched engines the settle
+    window is served by trace recording plus ``linger_rounds`` retirement
+    (replicas keep stepping through their window before retiring), and the
+    per-trial settle levels are reduced vectorized from the trace; the
+    sequential per-trial loop remains behind ``engine="sequential"`` as the
+    cross-check path.
+``trace``
+    Convergence aggregates plus trace-derived trajectory statistics (settle
+    round per replica, optional post-settle flip rate) recorded through a
+    configurable recorder (``stride``, ``ring`` capacity, ``flips``) —
+    also the workload of the trace-overhead benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..core.batch import BatchedEngine
 from ..core.engine import SynchronousEngine
 from ..core.noise import BatchedNoisyCountSampler, NoisyCountSampler
 from ..core.population import make_population
 from ..core.rng import spawn_rngs
 from ..stats.summary import TimesSummary, describe_times
+from ..trace import (
+    FullTrace,
+    make_recorder,
+    nonsource_correct_fractions,
+    post_settle_flip_rate,
+    settle_rounds,
+    window_mean_after,
+)
 from .registry import build_initializer, protocol_factory
 from .spec import Cell
 
@@ -46,7 +65,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # harness import must happen at call time to keep the package import DAG
 # acyclic (repro.sweep must be importable before repro.experiments).
 
-__all__ = ["CellResult", "execute_cell", "RESULT_COLUMNS"]
+__all__ = [
+    "CellResult",
+    "execute_cell",
+    "measure_kinds",
+    "register_measure",
+    "validate_measure",
+    "RESULT_COLUMNS",
+]
 
 #: Flat export columns shared by the CSV and table renderings, in order.
 RESULT_COLUMNS = (
@@ -112,17 +138,20 @@ class CellResult:
         """Flat dict over :data:`RESULT_COLUMNS` for CSV/table export.
 
         Columns that do not apply to the cell's measure (``settle`` for
-        consensus cells) are NaN; exporters render NaN as blank.
+        consensus cells, ``successes``/``rate`` for a registered custom
+        measure whose payload carries neither ``successes`` nor ``reached``)
+        are NaN; exporters render NaN as blank.
         """
         trials = self.cell["trials"]
         summary = self.time_summary()
+        settle = float("nan")
         if self.measure == "theta":
             successes = self.payload["reached"]
             levels = self.payload["settle_levels"]
-            settle = float(np.mean(levels)) if levels else float("nan")
+            if levels:
+                settle = float(np.mean(levels))
         else:
-            successes = self.payload["successes"]
-            settle = float("nan")
+            successes = self.payload.get("successes", self.payload.get("reached", float("nan")))
         return {
             "protocol": self.payload["protocol"],
             "init": self.payload["initializer"],
@@ -140,6 +169,47 @@ class CellResult:
         }
 
 
+# --------------------------------------------------------- measure registry
+
+#: kind -> (executor(cell, factory, initializer) -> payload, validator(measure))
+_MEASURES: dict[str, tuple[Callable, Callable[[dict], None] | None]] = {}
+
+
+def register_measure(
+    kind: str,
+    executor: Callable[[Cell, Callable, object], dict],
+    validator: Callable[[dict], None] | None = None,
+) -> None:
+    """Register a measurement kind for sweep cells.
+
+    ``executor(cell, protocol_factory, initializer)`` must return a JSON-able
+    payload dict carrying at least ``measure``, ``protocol``,
+    ``initializer``, ``times`` and ``engine`` (the contract
+    :meth:`CellResult.row` renders); include ``successes`` (or ``reached``)
+    for the success-rate columns — without it they export as NaN/blank.
+    ``validator(measure_dict)`` runs at spec construction so bad parameters
+    fail before any cell is dispatched.
+    """
+    if kind in _MEASURES:
+        raise ValueError(f"measure kind {kind!r} is already registered")
+    _MEASURES[kind] = (executor, validator)
+
+
+def measure_kinds() -> tuple[str, ...]:
+    """The registered measurement kinds, in registration order."""
+    return tuple(_MEASURES)
+
+
+def validate_measure(measure: dict) -> None:
+    """Fail fast on an unknown kind or invalid measure parameters."""
+    kind = measure.get("kind")
+    if kind not in _MEASURES:
+        raise ValueError(f"measure kind must be one of {measure_kinds()}, got {measure!r}")
+    validator = _MEASURES[kind][1]
+    if validator is not None:
+        validator(measure)
+
+
 def execute_cell(cell: Cell) -> CellResult:
     """Run one cell to completion and package its result.
 
@@ -149,13 +219,28 @@ def execute_cell(cell: Cell) -> CellResult:
     factory = protocol_factory(cell.protocol, cell.n)
     initializer = build_initializer(cell.initializer)
     kind = cell.measure["kind"]
-    if kind == "consensus":
-        payload = _measure_consensus(cell, factory, initializer)
-    elif kind == "theta":
-        payload = _measure_theta(cell, factory, initializer)
-    else:
+    if kind not in _MEASURES:
         raise ValueError(f"unknown measure kind {cell.measure!r}")
+    payload = _MEASURES[kind][0](cell, factory, initializer)
     return CellResult(key=cell.key(), cell=cell.to_dict(), payload=payload)
+
+
+def _use_batched(cell: Cell, protocol) -> bool:
+    """Engine resolution shared by the trace-backed measures."""
+    return cell.engine == "batched" or (cell.engine == "auto" and protocol.batch_vectorized)
+
+
+def _base_payload(kind: str, protocol_name: str, initializer, engine: str) -> dict:
+    return {
+        "measure": kind,
+        "protocol": protocol_name,
+        "initializer": initializer.name,
+        "times": [],
+        "engine": engine,
+    }
+
+
+# ------------------------------------------------------------- consensus
 
 
 def _measure_consensus(cell: Cell, factory, initializer) -> dict:
@@ -184,15 +269,84 @@ def _measure_consensus(cell: Cell, factory, initializer) -> dict:
     }
 
 
-def _measure_theta(cell: Cell, factory, initializer) -> dict:
-    """θ-convergence + settle level, per trial on the sequential engine.
+# ----------------------------------------------------------------- theta
 
-    The settle window keeps stepping an engine after its stop condition
-    fired, which the batched engine's retirement model does not support —
-    so this measure always runs sequentially, whatever ``cell.engine`` says.
+
+def _validate_theta(measure: dict) -> None:
+    if "theta" not in measure:
+        raise ValueError(f"theta measure needs a 'theta' threshold, got {measure!r}")
+    theta = float(measure["theta"])
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta}")
+    if int(measure.get("settle_window", 20)) < 0:
+        raise ValueError(f"settle_window must be >= 0, got {measure['settle_window']}")
+
+
+def _measure_theta(cell: Cell, factory, initializer) -> dict:
+    """θ-convergence + settle level, batched by default.
+
+    The batched path runs all trials lock-step with a full-trace recorder:
+    ``linger_rounds`` keeps each replica stepping through its settle window
+    after it first held θ for the stability window (exactly the sequential
+    semantics of stopping at θ and then stepping on), and the per-trial
+    settle levels come vectorized from the recorded non-source correct
+    fractions. ``engine="sequential"`` keeps the original per-trial loop.
     """
     theta = float(cell.measure["theta"])
     settle_window = int(cell.measure.get("settle_window", 20))
+    protocol = factory()
+    if not _use_batched(cell, protocol):
+        return _measure_theta_sequential(cell, factory, initializer, theta, settle_window)
+    base = _base_payload("theta", protocol.name, initializer, "batched")
+    base.update({"reached": 0, "settle_levels": [], "theta": theta, "settle_window": settle_window})
+    if cell.trials == 0:
+        return base
+    from ..experiments.harness import prepare_batch
+
+    batch, states, rng = prepare_batch(
+        protocol, cell.n, initializer, trials=cell.trials, seed=cell.seed
+    )
+    recorder = FullTrace()
+    engine = BatchedEngine(
+        protocol,
+        batch,
+        sampler=BatchedNoisyCountSampler(cell.noise),
+        rng=rng,
+        states=states,
+    )
+    result = engine.run(
+        cell.max_rounds,
+        stability_rounds=cell.stability_rounds,
+        stop_condition=lambda b: b.nonsource_correct_fraction() >= theta,
+        recorder=recorder,
+        linger_rounds=settle_window,
+    )
+    trace = recorder.trace()
+    levels = nonsource_correct_fractions(trace)
+    # The settle window opens where the sequential run stops stepping: the
+    # round the stability window closed (t_con + stability - 1).
+    window_start = np.where(
+        result.converged, result.rounds + (cell.stability_rounds - 1), -1
+    )
+    settle = window_mean_after(levels, trace.rounds, window_start, settle_window)
+    base.update(
+        {
+            "reached": int(result.successes),
+            "times": [float(t) for t in result.times()],
+            "settle_levels": [float(level) for level in settle[result.converged]],
+        }
+    )
+    return base
+
+
+def _measure_theta_sequential(
+    cell: Cell, factory, initializer, theta: float, settle_window: int
+) -> dict:
+    """Per-trial θ measurement on the sequential engine (cross-check path).
+
+    The settle window keeps stepping an engine after its stop condition
+    fired — the original semantics the batched linger path reproduces.
+    """
     protocol_name = ""
     times: list[int] = []
     settle_levels: list[float] = []
@@ -222,7 +376,7 @@ def _measure_theta(cell: Cell, factory, initializer) -> dict:
             for _ in range(settle_window):
                 engine.step()
                 levels.append(population.nonsource_correct_fraction())
-            settle_levels.append(float(np.mean(levels)))
+            settle_levels.append(float(np.mean(levels)) if levels else float("nan"))
     if cell.trials == 0:
         protocol_name = factory().name
     return {
@@ -236,3 +390,83 @@ def _measure_theta(cell: Cell, factory, initializer) -> dict:
         "settle_window": settle_window,
         "engine": "sequential",
     }
+
+
+# ----------------------------------------------------------------- trace
+
+
+def _validate_trace(measure: dict) -> None:
+    if int(measure.get("stride", 1)) < 1:
+        raise ValueError(f"stride must be >= 1, got {measure['stride']}")
+    ring = measure.get("ring")
+    if ring is not None and int(ring) < 1:
+        raise ValueError(f"ring capacity must be >= 1, got {ring}")
+    if float(measure.get("tolerance", 0.0)) < 0:
+        raise ValueError(f"tolerance must be >= 0, got {measure['tolerance']}")
+
+
+def _measure_trace(cell: Cell, factory, initializer) -> dict:
+    """Convergence aggregates plus trace-derived trajectory statistics.
+
+    Runs the cell's trials on the batched engine with a recorder configured
+    by the measure parameters (``stride``, ``ring`` capacity, ``flips``) and
+    reduces the trace vectorized: per-replica settle round (the round the
+    trajectory freezes, within ``tolerance``) and, when the flip channel is
+    on, the post-settle flip rate. Also the workload of the trace-overhead
+    benchmark: it is the consensus measurement plus recording.
+    """
+    if cell.engine == "sequential":
+        # No silent engine override: unlike theta, this measure has no
+        # per-trial sequential implementation (merging per-trial ring/stride
+        # windows is not well-defined), so an explicit sequential request is
+        # an error rather than a different dynamics stream than asked for.
+        raise ValueError(
+            "the trace measure runs on the batched engine; "
+            "engine='sequential' is not supported for kind='trace'"
+        )
+    stride = int(cell.measure.get("stride", 1))
+    ring = cell.measure.get("ring")
+    flips = bool(cell.measure.get("flips", False))
+    tolerance = float(cell.measure.get("tolerance", 0.0))
+    protocol = factory()
+    base = _base_payload("trace", protocol.name, initializer, "batched")
+    base.update({"successes": 0, "settle_rounds": [], "recorded_columns": 0})
+    if cell.trials == 0:
+        return base
+    from ..experiments.harness import prepare_batch
+
+    batch, states, rng = prepare_batch(
+        protocol, cell.n, initializer, trials=cell.trials, seed=cell.seed
+    )
+    recorder = make_recorder(ring=ring, stride=stride, record_flips=flips)
+    engine = BatchedEngine(
+        protocol,
+        batch,
+        sampler=BatchedNoisyCountSampler(cell.noise),
+        rng=rng,
+        states=states,
+    )
+    result = engine.run(
+        cell.max_rounds, stability_rounds=cell.stability_rounds, recorder=recorder
+    )
+    trace = recorder.trace()
+    settle = settle_rounds(trace.x, trace.rounds, tolerance=tolerance)
+    base.update(
+        {
+            "successes": int(result.successes),
+            "times": [float(t) for t in result.times()],
+            "final_x_mean": float(result.final_fractions.mean()),
+            "settle_rounds": [int(t) for t in settle],
+            "recorded_columns": trace.columns,
+        }
+    )
+    if flips:
+        rates = post_settle_flip_rate(trace, settle)
+        finite = rates[np.isfinite(rates)]
+        base["post_settle_flip_rate"] = float(finite.mean()) if finite.size else float("nan")
+    return base
+
+
+register_measure("consensus", _measure_consensus)
+register_measure("theta", _measure_theta, _validate_theta)
+register_measure("trace", _measure_trace, _validate_trace)

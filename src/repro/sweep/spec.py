@@ -51,9 +51,6 @@ AXES = ("protocol", "n", "noise", "initializer")
 #: miss instead of deserializing into the wrong shape.
 CELL_SCHEMA = 1
 
-#: Measurement kinds understood by the cell runner (see ``sweep.runner``).
-MEASURES = ("consensus", "theta")
-
 
 def canonical_json(obj: Any) -> str:
     """Serialize to the canonical form used for hashing (sorted keys, no
@@ -167,9 +164,13 @@ class SweepSpec:
         the Theorem-1 scaling convention of the convergence sweeps.
     measure:
         ``{"kind": "consensus"}`` (default; full convergence aggregates via
-        ``run_trials``) or ``{"kind": "theta", "theta": ..,
+        ``run_trials``), ``{"kind": "theta", "theta": ..,
         "settle_window": ..}`` (θ-convergence + settle level, the
-        robustness-sweep measurement).
+        robustness-sweep measurement — batched via trace recording unless
+        the spec forces ``engine="sequential"``), or ``{"kind": "trace",
+        "stride": .., "ring": .., "flips": ..}`` (convergence aggregates
+        plus trace-derived trajectory statistics). Kinds live in the
+        runner's measure registry (``repro.sweep.register_measure``).
     """
 
     axes: dict[str, list]
@@ -193,17 +194,12 @@ class SweepSpec:
             raise ValueError(f"stability_rounds must be >= 1, got {self.stability_rounds}")
         if self.engine not in ("auto", "batched", "sequential"):
             raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {self.engine!r}")
-        kind = self.measure.get("kind")
-        if kind not in MEASURES:
-            raise ValueError(f"measure kind must be one of {MEASURES}, got {self.measure!r}")
-        if kind == "theta":
-            if "theta" not in self.measure:
-                raise ValueError(f"theta measure needs a 'theta' threshold, got {self.measure!r}")
-            theta = float(self.measure["theta"])
-            if not 0.0 < theta <= 1.0:
-                raise ValueError(f"theta must be in (0, 1], got {theta}")
-            if int(self.measure.get("settle_window", 20)) < 0:
-                raise ValueError(f"settle_window must be >= 0, got {self.measure['settle_window']}")
+        # Measure kinds and their parameter rules live in the runner's
+        # registry; the import is deferred to keep spec importable first
+        # (runner imports spec at module load).
+        from .runner import validate_measure
+
+        validate_measure(self.measure)
 
         axes = dict(self.axes)
         unknown = set(axes) - set(AXES)

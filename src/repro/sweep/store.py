@@ -17,15 +17,35 @@ on:
 The file format is self-describing (each line carries the full cell spec
 alongside its payload), so a store doubles as a flat archive of everything
 a machine has ever computed for a grid — later lines win when a key was
-recomputed (``--force``).
+recomputed (``--force``). Every appended record additionally carries a
+**provenance stamp** (host, Python version, package version, UTC timestamp)
+so long-lived stores stay auditable: a surprising cached number can be
+traced to the machine and software that produced it. Records written before
+the stamp existed load unchanged.
 """
 
 from __future__ import annotations
 
 import json
+import platform
+from datetime import datetime, timezone
 from pathlib import Path
 
-__all__ = ["ResultsStore"]
+__all__ = ["ResultsStore", "provenance_stamp"]
+
+
+def provenance_stamp() -> dict:
+    """Where/when/what produced a record: host, Python, package, UTC time."""
+    # Deferred import: the package root imports repro.sweep, so importing it
+    # back at module load would be circular.
+    from .. import __version__
+
+    return {
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "version": __version__,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
 
 
 class ResultsStore:
@@ -71,10 +91,13 @@ class ResultsStore:
         """Persist ``record`` under ``key``: append one line and flush.
 
         Flushing per cell keeps the on-disk file a valid resume point
-        throughout a run, not only after a clean exit.
+        throughout a run, not only after a clean exit. The appended line is
+        stamped with :func:`provenance_stamp` (callers may pass their own
+        ``provenance`` to override, e.g. when copying records verbatim).
         """
         record = dict(record)
         record["key"] = key
+        record.setdefault("provenance", provenance_stamp())
         self._records[key] = record
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:

@@ -1,0 +1,175 @@
+"""Vectorized trace-derived measures.
+
+Everything the trajectory-shaped half of the paper's workloads measures —
+time to a θ threshold, the level a run settles at, how noisy it stays after
+settling — is a function of the per-replica one-fraction curves. These
+helpers compute those functions *vectorized over the replica axis* of a
+:class:`~repro.trace.recorder.BatchTrace`, which is what lets the ``theta``
+/ settle-window sweep cells run on the batched engine: the batched run
+records one ``(R, T)`` matrix, and the measures reduce it with a handful of
+numpy calls instead of R per-trial Python loops.
+
+All round arguments and results are *engine round indices* (the values in
+``trace.rounds``), not column positions, so the measures behave identically
+on full, strided, and ring-buffer traces — modulo the resolution those
+recorders retain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .recorder import BatchTrace
+
+__all__ = [
+    "nonsource_correct_fractions",
+    "post_settle_flip_rate",
+    "settle_rounds",
+    "time_to_threshold",
+    "window_mean_after",
+]
+
+
+def nonsource_correct_fractions(trace: BatchTrace) -> np.ndarray:
+    """Per-replica, per-round fraction of non-source agents that are correct.
+
+    Shape ``(R, K)``, derived affinely from the recorded one-fractions: with
+    sources re-pinned every round their contribution to the one-count is the
+    constant ``sources_correct`` (or its complement), so the non-source
+    correct count is recoverable exactly from ``x_t`` — no opinion matrices
+    needed. This is the quantity the θ-convergence / settle-level
+    measurements of :mod:`repro.experiments.robustness` are defined on.
+    """
+    meta = trace.meta
+    if not meta["pin_each_round"]:
+        raise ValueError(
+            "non-source correct fractions are only derivable from x_t when "
+            "sources are pinned each round"
+        )
+    n = meta["n"]
+    num_sources = meta["num_sources"]
+    if n - num_sources <= 0:
+        return np.ones_like(trace.x)
+    # x was computed as ones/n, so x*n is within float eps of the integer
+    # one-count; rint recovers it exactly.
+    ones = np.rint(trace.x * n)
+    correct_total = ones if meta["correct_opinion"] == 1 else n - ones
+    return (correct_total - meta["sources_correct"]) / (n - num_sources)
+
+
+def time_to_threshold(
+    values: np.ndarray,
+    rounds: np.ndarray,
+    threshold: float,
+) -> np.ndarray:
+    """First recorded round at which ``values >= threshold``, per replica.
+
+    ``(R,)`` int array of engine round indices; ``-1`` where the threshold is
+    never reached within the trace. On a strided or ring-buffer trace the
+    answer is quantized to (and windowed by) the recorded rounds.
+    """
+    hit = values >= threshold
+    reached = hit.any(axis=1)
+    first_col = hit.argmax(axis=1)
+    return np.where(reached, np.asarray(rounds)[first_col], -1)
+
+
+def window_mean_after(
+    values: np.ndarray,
+    rounds: np.ndarray,
+    start_rounds: np.ndarray,
+    window: int,
+) -> np.ndarray:
+    """Per-replica mean of ``values`` over rounds in ``(start, start + window]``.
+
+    The settle-level measurement: after replica ``r`` first satisfied its
+    stop condition at ``start_rounds[r]``, how high does its curve sit over
+    the next ``window`` rounds? Returns ``(R,)`` floats; NaN where
+    ``start_rounds[r] < 0`` (never started) or the window contains no
+    recorded columns (e.g. ``window == 0``).
+    """
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    values = np.asarray(values, dtype=float)
+    rounds = np.asarray(rounds)
+    start_rounds = np.asarray(start_rounds)
+    replicas = values.shape[0]
+    # Column range (lo, hi] per replica via binary search over recorded rounds.
+    lo = np.searchsorted(rounds, start_rounds, side="right")
+    hi = np.searchsorted(rounds, start_rounds + window, side="right")
+    counts = hi - lo
+    prefix = np.concatenate(
+        [np.zeros((replicas, 1)), np.cumsum(values, axis=1)], axis=1
+    )
+    sums = (
+        np.take_along_axis(prefix, hi[:, None], axis=1)
+        - np.take_along_axis(prefix, lo[:, None], axis=1)
+    )[:, 0]
+    valid = (start_rounds >= 0) & (counts > 0)
+    out = np.full(replicas, np.nan)
+    out[valid] = sums[valid] / counts[valid]
+    return out
+
+
+def settle_rounds(
+    values: np.ndarray,
+    rounds: np.ndarray,
+    *,
+    tolerance: float = 0.0,
+) -> np.ndarray:
+    """First recorded round from which each curve stays within a band.
+
+    Replica ``r`` has *settled* at the first recorded round ``t`` such that
+    ``max - min`` of its values over all recorded rounds ``>= t`` is at most
+    ``tolerance``. With the default tolerance 0 this is the round the curve
+    freezes — for a converged batched replica, exactly its retirement plateau.
+    Always defined (the last column alone trivially satisfies the band).
+    Returns ``(R,)`` engine round indices.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    values = np.asarray(values, dtype=float)
+    if values.shape[1] == 0:
+        return np.full(values.shape[0], -1, dtype=np.int64)
+    suffix_max = np.maximum.accumulate(values[:, ::-1], axis=1)[:, ::-1]
+    suffix_min = np.minimum.accumulate(values[:, ::-1], axis=1)[:, ::-1]
+    settled = (suffix_max - suffix_min) <= tolerance
+    # ``settled`` is monotone along the column axis, so argmax finds the
+    # first settled column; the last column is always True.
+    first_col = settled.argmax(axis=1)
+    return np.asarray(rounds)[first_col]
+
+
+def post_settle_flip_rate(
+    trace: BatchTrace,
+    settle_at: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-replica opinion flips per round after the settle point.
+
+    Quantifies how quiet a configuration is once it stops moving — the
+    paper's absorbing consensus has rate 0, while noisy near-consensus keeps
+    a positive flip rate. ``settle_at`` defaults to
+    :func:`settle_rounds` of the trace; the rate for replica ``r`` is the
+    total recorded flips over rounds ``> settle_at[r]`` divided by the rounds
+    elapsed. NaN where no rounds follow the settle point. Requires the flip
+    channel.
+    """
+    if trace.flips is None:
+        raise ValueError("trace has no flip channel; record with record_flips=True")
+    if settle_at is None:
+        settle_at = settle_rounds(trace.x, trace.rounds)
+    settle_at = np.asarray(settle_at)
+    rounds = np.asarray(trace.rounds)
+    replicas = trace.replicas
+    # Flip column k covers rounds (rounds[k-1], rounds[k]]; summing columns
+    # with rounds[k] > settle_at captures every flip after the settle point.
+    lo = np.searchsorted(rounds, settle_at, side="right")
+    prefix = np.concatenate(
+        [np.zeros((replicas, 1), dtype=np.int64), np.cumsum(trace.flips, axis=1)], axis=1
+    )
+    total = prefix[:, -1] - np.take_along_axis(prefix, lo[:, None], axis=1)[:, 0]
+    elapsed = rounds[-1] - settle_at if rounds.size else np.zeros_like(settle_at)
+    out = np.full(replicas, np.nan)
+    valid = elapsed > 0
+    out[valid] = total[valid] / elapsed[valid]
+    return out

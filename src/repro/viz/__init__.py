@@ -3,11 +3,12 @@
 from .ascii_grid import (
     DOMAIN_GLYPHS,
     YELLOW_GLYPHS,
+    render_batch_trace,
     render_domain_map,
     render_trajectory,
     render_yellow_map,
 )
-from .csv_out import write_domain_grid, write_rows
+from .csv_out import write_domain_grid, write_rows, write_trace_csv
 from .tables import format_rows, format_table
 
 __all__ = [
@@ -15,9 +16,11 @@ __all__ = [
     "YELLOW_GLYPHS",
     "format_rows",
     "format_table",
+    "render_batch_trace",
     "render_domain_map",
     "render_trajectory",
     "render_yellow_map",
     "write_domain_grid",
     "write_rows",
+    "write_trace_csv",
 ]

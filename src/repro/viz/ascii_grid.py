@@ -15,6 +15,7 @@ from ..analysis.domains import Domain, DomainPartition, YellowArea
 __all__ = [
     "DOMAIN_GLYPHS",
     "YELLOW_GLYPHS",
+    "render_batch_trace",
     "render_domain_map",
     "render_yellow_map",
     "render_trajectory",
@@ -111,3 +112,27 @@ def render_trajectory(
     rows.append("     +" + "-" * len(columns))
     rows.append(f"      rounds 0 .. {trajectory.size - 1} (downsampled to {len(columns)} cols)")
     return "\n".join(rows)
+
+
+def render_batch_trace(trace, *, reducer: str = "mean", width: int = 72, height: int = 18) -> str:
+    """Sparkline chart of a recorded batch trace, reduced over replicas.
+
+    ``trace`` is a :class:`~repro.trace.recorder.BatchTrace` (duck-typed:
+    ``x``, ``rounds``, ``replicas``, ``stride``). ``reducer`` picks the
+    per-round cross-replica statistic: ``mean``, ``median``, ``min``, or
+    ``max``. Retired replicas contribute their frozen final values, so the
+    reduced curve stays meaningful after partial retirement.
+    """
+    reducers = {"mean": np.mean, "median": np.median, "min": np.min, "max": np.max}
+    if reducer not in reducers:
+        raise ValueError(f"reducer must be one of {sorted(reducers)}, got {reducer!r}")
+    if trace.x.shape[1] == 0:
+        return "(empty trace)"
+    series = reducers[reducer](trace.x, axis=0)
+    chart = render_trajectory(series, width=width, height=height)
+    header = (
+        f"{reducer} one-fraction over {trace.replicas} replica(s), "
+        f"rounds {int(trace.rounds[0])} .. {int(trace.rounds[-1])}"
+        + (f" (stride {trace.stride})" if trace.stride != 1 else "")
+    )
+    return header + "\n" + chart

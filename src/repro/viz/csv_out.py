@@ -8,11 +8,14 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..analysis.domains import DomainPartition
 
-__all__ = ["write_rows", "write_domain_grid"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace.recorder import BatchTrace
+
+__all__ = ["write_rows", "write_domain_grid", "write_trace_csv"]
 
 
 def write_rows(
@@ -29,6 +32,24 @@ def write_rows(
         for row in rows:
             writer.writerow(list(row))
     return path
+
+
+def write_trace_csv(path: str | Path, trace: "BatchTrace") -> Path:
+    """Persist a recorded batch trace in long form.
+
+    One row per (replica, recorded round): ``replica, round, x`` plus a
+    ``flips`` column when the trace carries the flip channel. Long form keeps
+    the file self-describing under strides and ring-buffer windows (the round
+    column is explicit) and loads directly into any dataframe/plot tool.
+    """
+    headers = ("replica", "round", "x") + (("flips",) if trace.flips is not None else ())
+    rows = (
+        (r, int(trace.rounds[k]), float(trace.x[r, k]))
+        + ((int(trace.flips[r, k]),) if trace.flips is not None else ())
+        for r in range(trace.replicas)
+        for k in range(trace.columns)
+    )
+    return write_rows(path, headers, rows)
 
 
 def write_domain_grid(

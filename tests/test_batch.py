@@ -327,10 +327,25 @@ class TestRunTrialsDispatch:
         )
         assert stats.engine == "batched"
 
-    def test_auto_falls_back_for_keep_results(self):
+    def test_auto_keeps_batched_for_keep_results(self):
+        # Since the trace subsystem, keep_results rides the batched engine:
+        # a FullTrace recorder captures per-replica trajectories and converts
+        # them back into per-trial RunResults.
         stats = run_trials(
             lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400, seed=0,
             keep_results=True,
+        )
+        assert stats.engine == "batched"
+        assert len(stats.results) == 4
+        for result in stats.results:
+            assert result.converged
+            # trajectory covers round 0 through the rounds the replica executed
+            assert result.trajectory.shape[0] >= result.rounds + 1
+
+    def test_sequential_escape_hatch_for_keep_results(self):
+        stats = run_trials(
+            lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400, seed=0,
+            keep_results=True, engine="sequential",
         )
         assert stats.engine == "sequential"
         assert len(stats.results) == 4
@@ -342,12 +357,21 @@ class TestRunTrialsDispatch:
         )
         assert stats.engine == "sequential"
 
-    def test_batched_rejects_keep_results(self):
-        with pytest.raises(ValueError):
-            run_trials(
-                lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400,
-                seed=0, engine="batched", keep_results=True,
-            )
+    def test_batched_keep_results_matches_sequential_shape(self):
+        seq = run_trials(
+            lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400,
+            seed=0, engine="sequential", keep_results=True,
+        )
+        bat = run_trials(
+            lambda: FETProtocol(16), 100, AllWrong(), trials=4, max_rounds=400,
+            seed=0, engine="batched", keep_results=True,
+        )
+        assert len(bat.results) == len(seq.results) == 4
+        for result in bat.results + seq.results:
+            # same contract: trajectory[0] is the initial all-wrong fraction
+            # (one source pinned correct) and the final entry is consensus
+            assert result.trajectory[0] == pytest.approx(0.01)
+            assert result.final_fraction == 1.0
 
     def test_batched_rejects_unpaired_sampler(self):
         with pytest.raises(ValueError):

@@ -52,6 +52,26 @@ class TestParser:
         assert args.store == "s.jsonl"
         assert args.force is True
 
+    def test_trace_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["trace", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for option in ("--replicas", "--stride", "--ring", "--flips", "--out"):
+            assert option in out
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.command == "trace"
+        assert args.n == 1000
+        assert args.protocol == "fet"
+        assert args.init == "all-wrong"
+        assert args.replicas == 8
+        assert args.stride == 1
+        assert args.ring is None
+        assert args.flips is False
+        assert args.out is None
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -112,6 +132,29 @@ class TestCommands:
         second = capsys.readouterr().out
         assert code == 0
         assert "executed 0 cell(s), 2 served from store" in second
+
+    def test_trace_runs_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "trace.csv"
+        code = main(
+            ["trace", "-n", "300", "--replicas", "3", "--max-rounds", "500",
+             "--flips", "--out", str(out)]
+        )
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "3 replica(s)" in text
+        assert "settled at" in text
+        assert out.exists()
+        assert out.read_text().startswith("replica,round,x,flips")
+
+    def test_trace_ring_and_stride_run(self, capsys):
+        code = main(
+            ["trace", "-n", "300", "--replicas", "2", "--max-rounds", "500",
+             "--stride", "2", "--ring", "16", "--reducer", "median"]
+        )
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "median one-fraction" in text
+        assert "stride 2" in text
 
     def test_sweep_demo_grid_runs(self, capsys):
         code = main(["sweep"])
