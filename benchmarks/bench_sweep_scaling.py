@@ -97,6 +97,25 @@ def run_benchmark() -> dict:
     }
 
 
+def should_record(path: Path, payload: dict) -> bool:
+    """Refuse to clobber a multi-core record with a single-core one.
+
+    The recorded speedup is hardware-bound: numbers measured on a 1-core
+    container say nothing about the dispatcher and would silently replace a
+    meaningful multi-core measurement (exactly what happened to the first
+    recording of this benchmark).
+    """
+    if not path.exists():
+        return True
+    try:
+        existing = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return True
+    old_cores = existing.get("cpu_count") or 1
+    new_cores = payload.get("cpu_count") or 1
+    return not (old_cores > 1 and new_cores <= 1)
+
+
 def report(payload: dict) -> None:
     print(banner("Sweep orchestrator — wall-clock vs --jobs (fixed FET grid)"))
     print(
@@ -113,8 +132,14 @@ def report(payload: dict) -> None:
     print(f"speedup at 4 jobs: {payload['speedup_at_4_jobs']}x "
           f"(hardware-bound; needs >= 4 free cores to approach 4x)")
     path = results_path("BENCH_sweep.json")
-    path.write_text(json.dumps(payload, indent=2))
-    print(f"wrote {path}")
+    if should_record(path, payload):
+        path.write_text(json.dumps(payload, indent=2))
+        print(f"wrote {path}")
+    else:
+        print(
+            f"kept {path}: existing record was measured on more cores; "
+            "refusing to overwrite it with this lower-parallelism run"
+        )
 
 
 def test_sweep_scaling(benchmark):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import Sequence
 
@@ -53,6 +54,21 @@ from .viz.tables import format_table
 __all__ = ["main", "build_parser"]
 
 
+def _jobs(value: str) -> int:
+    """Worker-count argument: positive counts pass through, ``0`` means "use
+    every core", and negatives fail at parse time instead of reaching the
+    dispatcher (which would silently build a broken pool)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--jobs must be an integer, got {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -71,7 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     scale = sub.add_parser("scale", help="quick Theorem-1 scaling sweep")
     scale.add_argument("--trials", type=int, default=8, help="trials per size (default 8)")
-    scale.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    scale.add_argument(
+        "--jobs", type=_jobs, default=1,
+        help="worker processes (default 1; 0 means one per CPU core)",
+    )
 
     sweep_cmd = sub.add_parser(
         "sweep", help="run a declarative experiment grid (parallel, resumable)"
@@ -82,7 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="path to a sweep spec JSON file (default: the built-in FET demo grid)",
     )
-    sweep_cmd.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    sweep_cmd.add_argument(
+        "--jobs", type=_jobs, default=1,
+        help="worker processes (default 1; 0 means one per CPU core)",
+    )
     sweep_cmd.add_argument(
         "--store",
         type=str,

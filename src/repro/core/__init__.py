@@ -16,20 +16,22 @@ configuration*. Two layers keep it fast:
    (``Protocol.batch_vectorized``) step every replica with a handful of numpy
    ops, and converged replicas retire from a compacted working set so finished
    trials stop costing work. The sampler tiers its draw strategy by where
-   each replica's ``x`` sits (deterministic fills at consensus, numpy's
-   scalar-p generator near the ends, shared-CDF inversion in the middle), so
-   the draws themselves — not just the Python overhead — get cheaper than a
-   per-trial loop.
+   each replica's ``x`` sits (deterministic fills at consensus, geometric-gap
+   sparse placement near consensus, numpy's scalar-p generator near the
+   ends, shared-CDF inversion in the middle), so the draws themselves — not
+   just the Python overhead — get cheaper than a per-trial loop.
 
-The batched fast path applies to memoryless-*sampling* protocols (observation
-= 1-count): everything whose scalar ``step`` consumes ``sampler.counts`` /
-``count_blocks``. Protocols that materialize identities (index-level or
-non-passive baselines) stay on the per-trial :class:`SynchronousEngine`;
-``run_trials(engine="auto")`` picks the right engine per call. Per-round
-trajectory and flip logs are served on *both* engines by the trace subsystem
-(:mod:`repro.trace`): a recorder hooks the round loop and keeps per-replica
-curves across retirement, so trajectory-shaped consumers ride the batched
-path too.
+The batched fast path covers memoryless-*sampling* protocols (observation =
+1-count, everything whose scalar ``step`` consumes ``sampler.counts`` /
+``count_blocks``) *and* the identity-sampling clock-sync baseline, whose
+per-agent plurality vote vectorizes as one flat bincount over (replica,
+agent, clock) keys. Identity draws have no count-level sufficient statistic,
+so that protocol's batched win is uniformity (no per-replica Python
+fallback, trace/retirement integration), not a draw-cost reduction.
+Per-round trajectory and flip logs are served on *both* engines by the trace
+subsystem (:mod:`repro.trace`): a recorder hooks the round loop and keeps
+per-replica curves across retirement, so trajectory-shaped consumers ride
+the batched path too.
 
 A third layer sits above both: one ``(R, n)`` batch saturates a single core,
 so **sweep cells** — independent (protocol, n, noise, initializer) grid

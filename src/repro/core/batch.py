@@ -452,8 +452,11 @@ class BatchedEngine:
                 "BatchedEngine.run is single-shot; build a fresh engine to run again"
             )
         self._consumed = True
-        if max_rounds < 0:
-            raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        # Same bound and message as run_trials: a 0-round budget cannot
+        # observe anything and previously slipped through as an instant
+        # "nothing converged" result here while the harness rejected it.
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
         if stability_rounds < 1:
             raise ValueError(f"stability_rounds must be >= 1, got {stability_rounds}")
         if linger_rounds < 0:

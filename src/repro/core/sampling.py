@@ -202,6 +202,15 @@ class BatchedSampler(ABC):
 #: regardless of x.
 _INVERSION_CUTOFF = 3.0
 
+#: Far below the inversion cutoff the draws are almost all 0 (or almost all
+#: ℓ): at this tail the non-modal probability is ``1 - e^{-tail} ≈ 0.22`` or
+#: less, and generating only the rare non-modal draws by geometric-gap
+#: placement beats any per-element generator (measured crossover vs numpy's
+#: scalar-p inversion is ~0.25; the advantage grows to ~10× as the tail
+#: shrinks). Near-consensus rows — the bulk of all-wrong openings,
+#: noise-hover rounds, and linger/settle windows — sit deep inside this band.
+_SPARSE_CUTOFF = 0.25
+
 #: Guards against log(0) when building pmfs; distorts probabilities by less
 #: than one float64 ulp, i.e. below the resolution of the draws themselves.
 _TINY = 1e-300
@@ -260,6 +269,145 @@ def _histogram_binomial_rows(
     return values.reshape(blocks, rows, n)
 
 
+def _sparse_binomial_rows(
+    rng: np.random.Generator,
+    ell: int,
+    x_rows: np.ndarray,
+    blocks: int,
+    n: int,
+) -> np.ndarray:
+    """``(blocks, rows, n)`` iid ``Binomial(ℓ, x_r)`` draws for extreme-x rows
+    by geometric-gap placement of the rare non-modal draws.
+
+    Within a row at small ``y = min(x, 1-x)`` almost every draw equals the
+    modal count (0, or ℓ for ``x`` near 1 by the mirror ``ℓ - Binomial(ℓ,
+    1-x)``). The iid vector is reproduced exactly in three steps, paying
+    O(1) per *non-modal* draw instead of per element:
+
+    1. fill the row with the modal value;
+    2. walk each (block, row) lane left to right placing non-modal draws:
+       a position is non-modal independently with ``q = 1 - (1-y)^ℓ``, so
+       the gaps between successive non-modal positions are iid
+       ``Geometric(q)`` — drawn vectorized across lanes by inverse CDF
+       (``1 + ⌊ln U / ln(1-q)⌋``);
+    3. give every placed position a count from the conditional distribution
+       ``Binomial(ℓ, y) | ≥ 1`` (row-wise inverse CDF), mirrored back for
+       flipped rows.
+
+    Exact in distribution up to float64 rounding of ``q`` and the
+    conditional pmf — the same resolution every float-p sampler has.
+    """
+    rows = x_rows.shape[0]
+    out = np.zeros((blocks, rows, n), dtype=np.int32)
+    if rows == 0 or blocks == 0 or n == 0 or ell == 0:
+        return out
+    flipped = x_rows > 0.5
+    y = np.where(flipped, 1.0 - x_rows, x_rows)
+    if flipped.any():
+        out[:, flipped, :] = ell
+    # P(draw is non-modal); log-space so tiny y cannot underflow. q reaches
+    # exactly 1.0 when (1-y)^ell underflows — then every gap below is 1 and
+    # the lane degenerates to a dense fill, which stays exact (just slow;
+    # such rows only get here under a forced method="sparse").
+    q = -np.expm1(ell * np.log1p(-np.minimum(y, _ALMOST_ONE)))
+    lanes2d = out.reshape(blocks * rows, n)  # C-order: lane = block·rows + row
+    q_lane = np.tile(q, blocks)
+    with np.errstate(divide="ignore"):  # q == 1 -> log1p(-q) == -inf, handled
+        log1m_q = np.log1p(-q_lane)
+
+    positive = np.nonzero(q_lane > 0.0)[0]
+    hit_lanes: list[np.ndarray] = []
+    hit_pos: list[np.ndarray] = []
+    first = q_lane[positive[0]] if positive.size else 0.0
+    if positive.size and (q_lane[positive] == first).all():
+        # Lock-step fast path — all lanes share one q (every replica at the
+        # same one-fraction, e.g. identical starts or the opening rounds of
+        # an all-wrong batch). The lanes concatenate into a single Bernoulli
+        # line of length lanes·n (per-slot independence is q-homogeneous
+        # across the seam), so one 1-d gap stream places every draw with
+        # O(√K) slack instead of per-lane mean + 4σ.
+        line_len = positive.size * n
+        lq = float(log1m_q[positive[0]])
+        line_pos = -1
+        while line_pos < line_len - 1:
+            expect = (line_len - 1 - line_pos) * first
+            cap = int(min(np.ceil(expect + 4.0 * np.sqrt(expect) + 16.0), 8e6))
+            u = rng.random(cap)
+            np.maximum(u, _TINY, out=u)  # log(0) guard, < 1 ulp of distortion
+            np.log(u, out=u)
+            if lq != 0.0:
+                u /= lq
+            u += 1.0
+            # Any gap beyond the line is equivalent to "no further draws";
+            # clamping keeps the int64 cast finite when q is denormal-tiny
+            # (ln U / ln(1-q) overflows float64) and guarantees progress.
+            np.minimum(u, float(line_len) + 1.0, out=u)
+            steps = u.astype(np.int64)
+            np.cumsum(steps, out=steps)
+            steps += line_pos
+            hits = steps[steps < line_len]
+            hit_lanes.append(positive[hits // n])
+            hit_pos.append(hits % n)
+            line_pos = int(steps[-1]) if steps.size else line_len
+    else:
+        active = positive
+        pos = np.full(active.size, -1, dtype=np.int64)
+        while active.size:
+            # Enough gap draws to finish most lanes this pass (mean + 4σ),
+            # bounded so a heterogeneous batch cannot allocate a huge matrix.
+            expect = float(((n - pos) * q_lane[active]).max())
+            cap = int(np.clip(np.ceil(expect + 4.0 * np.sqrt(expect) + 4.0), 4, 4096))
+            # In-place inverse-CDF gaps, 1 + floor(ln U / ln(1-q)); the +1 is
+            # folded in before truncation (the ratio is non-negative, so
+            # astype truncation is the floor).
+            u = rng.random((active.size, cap))
+            np.maximum(u, _TINY, out=u)  # log(0) guard, < 1 ulp of distortion
+            np.log(u, out=u)
+            u /= log1m_q[active, None]
+            u += 1.0
+            # Same finite-cast/progress clamp as the lock-step path: a gap
+            # past the lane end means "no further draws in this lane".
+            np.minimum(u, float(n) + 1.0, out=u)
+            steps = u.astype(np.int64)
+            np.cumsum(steps, axis=1, out=steps)
+            steps += pos[:, None]
+            flat_hits = np.nonzero((steps < n).ravel())[0]
+            hit_lanes.append(active[flat_hits // cap])
+            hit_pos.append(steps.ravel()[flat_hits])
+            pos = steps[:, -1]
+            alive = pos < n - 1
+            active = active[alive]
+            pos = pos[alive]
+    if not hit_lanes:
+        return out
+    # Both placement loops almost always finish in one pass; skip the copy.
+    lane_idx = hit_lanes[0] if len(hit_lanes) == 1 else np.concatenate(hit_lanes)
+    pos_idx = hit_pos[0] if len(hit_pos) == 1 else np.concatenate(hit_pos)
+    if lane_idx.size == 0:
+        return out
+
+    # Conditional count for each placed position: inverse CDF of
+    # Binomial(ℓ, y) given >= 1. The overwhelming majority of conditional
+    # draws equal 1, so those short-circuit on a single gathered-threshold
+    # test and only the remainder pays the row-offset searchsorted.
+    ccdf = np.cumsum(_binomial_pmf_rows(ell, y)[:, 1:], axis=1)
+    ccdf /= ccdf[:, -1:]
+    ccdf[:, -1] = 1.0
+    row_of_lane = lane_idx % rows
+    u2 = rng.random(lane_idx.size)
+    values = np.ones(lane_idx.size, dtype=np.int32)
+    deeper = u2 > ccdf[row_of_lane, 0]
+    if deeper.any():
+        rows_d = row_of_lane[deeper]
+        flat_cdf = (ccdf + np.arange(rows, dtype=float)[:, None]).ravel()
+        found = np.searchsorted(flat_cdf, u2[deeper] + rows_d, side="left")
+        values[deeper] = (found - rows_d * ell + 1).astype(np.int32)
+    if flipped.any():
+        values = np.where(flipped[row_of_lane], ell - values, values)
+    lanes2d[lane_idx, pos_idx] = values
+    return out
+
+
 def batched_binomial_counts(
     rng: np.random.Generator,
     ell: int,
@@ -280,19 +428,24 @@ def batched_binomial_counts(
       element when ``p`` is an array, so this is the slowest.
     * ``"histogram"`` — sufficient-statistic draw for every row (see
       :func:`_histogram_binomial_rows`).
+    * ``"sparse"`` — geometric-gap placement of the non-modal draws for
+      every row (see :func:`_sparse_binomial_rows`); intended for rows near
+      one end, where it costs O(non-modal draws) instead of O(elements).
     * ``"auto"`` (default) — tiered: rows at exactly ``x ∈ {0, 1}`` (consensus
       configurations, the bulk of stability-window rounds) are deterministic
-      fills; rows hugging one end (``ℓ·min(x, 1-x) ≤ 3``) use numpy's
-      scalar-p generator grouped by distinct ``x`` value, where its inversion
-      loop is short; remaining rows use the histogram draw. This is what
-      makes many-replica simulation decisively faster than per-trial loops —
-      the draw itself gets cheaper, not just the Python overhead.
+      fills; near-consensus rows (``ℓ·min(x, 1-x) ≤ 0.25``) use the sparse
+      geometric-gap generator; rows hugging one end less tightly
+      (``ℓ·min(x, 1-x) ≤ 3``) use numpy's scalar-p generator grouped by
+      distinct ``x`` value, where its inversion loop is short; remaining
+      rows use the histogram draw. This is what makes many-replica
+      simulation decisively faster than per-trial loops — the draw itself
+      gets cheaper, not just the Python overhead.
     """
     if ell < 0:
         raise ValueError(f"ell must be non-negative, got {ell}")
     if blocks < 0:
         raise ValueError(f"blocks must be non-negative, got {blocks}")
-    if method not in ("auto", "histogram", "binomial"):
+    if method not in ("auto", "histogram", "binomial", "sparse"):
         raise ValueError(f"unknown method {method!r}")
     x = np.asarray(x, dtype=float)
     if x.ndim != 1:
@@ -306,11 +459,15 @@ def batched_binomial_counts(
         return rng.binomial(ell, x[None, :, None], size=(blocks, replicas, n))
     if method == "histogram":
         return _histogram_binomial_rows(rng, ell, x, blocks, n)
+    if method == "sparse":
+        return _sparse_binomial_rows(rng, ell, x, blocks, n)
     zeros = x == 0.0
     ones = x == 1.0
     tail = ell * np.minimum(x, 1.0 - x)
-    scalar_rows = ~zeros & ~ones & (tail <= _INVERSION_CUTOFF)
-    histogram_rows = ~zeros & ~ones & ~scalar_rows
+    extreme = ~zeros & ~ones
+    sparse_rows = extreme & (tail <= _SPARSE_CUTOFF)
+    scalar_rows = extreme & ~sparse_rows & (tail <= _INVERSION_CUTOFF)
+    histogram_rows = extreme & (tail > _INVERSION_CUTOFF)
     # Single-strategy fast paths — the overwhelmingly common rounds (all
     # replicas in lock-step near one end, or all at consensus) skip the
     # allocate-and-scatter entirely.
@@ -318,6 +475,8 @@ def batched_binomial_counts(
         return np.zeros((blocks, replicas, n), dtype=np.int32)
     if ones.all():
         return np.full((blocks, replicas, n), ell, dtype=np.int32)
+    if sparse_rows.all():
+        return _sparse_binomial_rows(rng, ell, x, blocks, n)
     if scalar_rows.all() and (x == x[0]).all():
         return rng.binomial(ell, x[0], size=(blocks, replicas, n))
     if histogram_rows.all():
@@ -327,6 +486,9 @@ def batched_binomial_counts(
         out[:, zeros, :] = 0
     if ones.any():
         out[:, ones, :] = ell
+    if sparse_rows.any():
+        indices = np.nonzero(sparse_rows)[0]
+        out[:, indices, :] = _sparse_binomial_rows(rng, ell, x[indices], blocks, n)
     if scalar_rows.any():
         indices = np.nonzero(scalar_rows)[0]
         values, inverse = np.unique(x[indices], return_inverse=True)
@@ -350,7 +512,7 @@ class BatchedBinomialSampler(BatchedSampler):
     """
 
     def __init__(self, method: str = "auto") -> None:
-        if method not in ("auto", "histogram", "binomial"):
+        if method not in ("auto", "histogram", "binomial", "sparse"):
             raise ValueError(f"unknown method {method!r}")
         self.method = method
 

@@ -41,13 +41,16 @@ __all__ = ["NoiseRow", "sweep_noise"]
 
 @dataclass(frozen=True)
 class NoiseRow:
-    """Outcome of one noise level: θ-convergence stats and settle level."""
+    """Outcome of one (protocol, noise level) cell: θ-convergence stats and
+    settle level. ``protocol`` distinguishes baseline rows when the sweep
+    compares more than one protocol."""
 
     epsilon: float
     trials: int
     reached_theta: int
     median_rounds: float
     mean_settle_level: float
+    protocol: str = ""
 
 
 def sweep_noise(
@@ -64,15 +67,31 @@ def sweep_noise(
     jobs: int = 1,
     store: ResultsStore | str | Path | None = None,
     engine: str = "auto",
+    protocols: list[dict | str] | None = None,
 ) -> list[NoiseRow]:
-    """Measure FET's θ-convergence time and settle level per noise level."""
+    """Measure θ-convergence time and settle level per (protocol, noise) cell.
+
+    By default the sweep measures FET alone (the paper's E-noise extension).
+    ``protocols`` adds comparison rows — e.g. ``[{"name": "fet", "ell": 40},
+    "clock-sync"]`` puts the decoupled-message baseline next to FET at every
+    noise level: count-sampling protocols consume ε through the noisy count
+    samplers, and clock-sync applies the same per-bit flip model to the
+    opinion bits it reads directly (its clock message stays clean — the
+    noise model covers opinion observations). Since the clock-sync
+    vectorization, every registered protocol rides the batched engine under
+    ``engine="auto"``, so baseline rows cost the same per trial as FET rows
+    instead of falling back to the per-replica path.
+    """
     initializer = initializer if initializer is not None else AllWrong()
+    protocol_axis: list[dict | str] = (
+        list(protocols) if protocols is not None else [{"name": "fet", "ell": int(ell)}]
+    )
     spec = SweepSpec(
         name="noise-robustness",
         seed=seed,
         trials=trials,
         axes={
-            "protocol": [{"name": "fet", "ell": int(ell)}],
+            "protocol": protocol_axis,
             "n": [n],
             "noise": [float(eps) for eps in epsilons],
             "initializer": [initializer.spec()],
@@ -95,6 +114,7 @@ def sweep_noise(
                 reached_theta=payload["reached"],
                 median_rounds=float(np.median(times)) if times else float("nan"),
                 mean_settle_level=float(np.mean(levels)) if levels else float("nan"),
+                protocol=payload["protocol"],
             )
         )
     return rows

@@ -153,6 +153,18 @@ class TestBatchedEngineSemantics:
         with pytest.raises(ValueError):
             engine.run(-1)
 
+    def test_rejects_zero_max_rounds_like_run_trials(self):
+        # Regression: the engine used to accept max_rounds=0 while run_trials
+        # rejected it; both layers must refuse with the same message.
+        pop = make_population(10, 1)
+        engine = BatchedEngine(FlipAllProtocol(), BatchedPopulation.from_population(pop, 2), rng=0)
+        with pytest.raises(ValueError, match="max_rounds must be >= 1, got 0"):
+            engine.run(0)
+        with pytest.raises(ValueError, match="max_rounds must be >= 1, got 0"):
+            run_trials(
+                lambda: FETProtocol(8), 10, AllWrong(), trials=2, max_rounds=0, seed=0
+            )
+
     def test_run_is_single_shot(self):
         # Retirement compacts the state arrays, so a second run has nothing
         # coherent to resume from — the engine must refuse, not crash.
@@ -319,6 +331,19 @@ class TestEngineEquivalence:
             trials=200, max_rounds=1500, seed=17, expect_success=1.0,
         )
 
+    def test_clock_sync_equivalent(self):
+        # The decoupled-message baseline on its vectorized step_batch: same
+        # success law and convergence-time law as the per-trial engine.
+        from repro.protocols.clock_sync import ClockSyncProtocol
+        from repro.protocols.fet import ell_for
+
+        n = 200
+        budget = 40 * ClockSyncProtocol(n, 8).period
+        self.check(
+            lambda: ClockSyncProtocol(n, ell_for(n)), n, AllWrong(),
+            trials=120, max_rounds=budget, seed=18, expect_success=1.0,
+        )
+
 
 class TestRunTrialsDispatch:
     def test_auto_uses_batched_for_vectorized_protocol(self):
@@ -402,12 +427,21 @@ class TestRunTrialsDispatch:
         assert stats.successes == 6
 
     def test_non_vectorized_protocol_through_batched_api(self):
-        # clock-sync has no vectorized step_batch; the generic fallback must
-        # still run it end to end through the batched engine.
+        # Protocols without a vectorized step_batch run through the generic
+        # per-replica fallback; it must still carry identity-sampling state
+        # (clock-sync's clock vector) end to end through the batched engine.
         from repro.protocols.clock_sync import ClockSyncProtocol
 
+        def factory():
+            protocol = ClockSyncProtocol(64, 4)
+            protocol.batch_vectorized = False
+            protocol.step_batch = (  # type: ignore[method-assign]
+                lambda *args: Protocol.step_batch(protocol, *args)
+            )
+            return protocol
+
         stats = run_trials(
-            lambda: ClockSyncProtocol(64, 4), 64, AllWrong(),
+            factory, 64, AllWrong(),
             trials=3, max_rounds=200, seed=4, engine="batched",
         )
         assert stats.engine == "batched"
@@ -427,14 +461,14 @@ class TestBatchedSamplerStatistics:
             batch.opinions[r, :ones] = 1
         batch.invalidate_cache()
         draws = {}
-        for method in ("auto", "histogram", "binomial"):
+        for method in ("auto", "histogram", "binomial", "sparse"):
             sampler = BatchedBinomialSampler(method)
             draws[method] = np.concatenate(
                 [sampler.counts(batch, 20, rng) for _ in range(40)], axis=1
             )
         for r, x in enumerate(fractions):
             ref = draws["binomial"][r]
-            for method in ("auto", "histogram"):
+            for method in ("auto", "histogram", "sparse"):
                 got = draws[method][r]
                 assert got.min() >= 0 and got.max() <= 20
                 if x in (0.0, 1.0):

@@ -52,6 +52,24 @@ class TestParser:
         assert args.store == "s.jsonl"
         assert args.force is True
 
+    @pytest.mark.parametrize("command", ["sweep", "scale"])
+    def test_jobs_zero_means_all_cores(self, command):
+        import os
+
+        args = build_parser().parse_args([command, "--jobs", "0"])
+        assert args.jobs == (os.cpu_count() or 1)
+        assert args.jobs >= 1
+
+    @pytest.mark.parametrize("command", ["sweep", "scale"])
+    @pytest.mark.parametrize("bad", ["-1", "-8", "two"])
+    def test_jobs_rejects_bad_values(self, command, bad, capsys):
+        # Regression: negative/non-integer --jobs used to reach the
+        # dispatcher as-is and die with a traceback; now argparse refuses.
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--jobs", bad])
+        assert excinfo.value.code == 2
+        assert "--jobs must be" in capsys.readouterr().err
+
     def test_trace_help_smoke(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["trace", "--help"])

@@ -121,3 +121,41 @@ class TestNoisyFET:
         # Noiseless settles at exactly 1; real noise cannot hold the level.
         assert rows[0].mean_settle_level == pytest.approx(1.0, abs=1e-6)
         assert rows[1].mean_settle_level < 1.0
+
+
+class TestNoiseBaselineRows:
+    def test_sweep_noise_protocol_axis(self):
+        """Baseline rows share the noise grid and run batched by default."""
+        n = 128
+        rows = sweep_noise(
+            n,
+            8,
+            [0.0],
+            trials=3,
+            max_rounds=800,
+            seed=5,
+            theta=0.9,
+            settle_window=4,
+            protocols=[{"name": "fet", "ell": 8}, {"name": "clock-sync", "ell": 8}],
+        )
+        assert len(rows) == 2
+        names = [row.protocol for row in rows]
+        assert names[0].startswith("fet")
+        assert names[1].startswith("clock-sync")
+        for row in rows:
+            assert row.reached_theta == row.trials
+
+    def test_clock_sync_rows_are_not_noise_inert(self):
+        """Regression: clock-sync ignores the count samplers, so its noise
+        rows used to simulate eps=0 silently; it now applies the per-bit
+        flip model to the opinion bits it reads. The settle window must span
+        a zero-subphase (> subphase_len) for the damage to be visible."""
+        rows = sweep_noise(
+            256, 8, [0.0, 0.05],
+            trials=3, max_rounds=1500, seed=2, theta=0.9, settle_window=40,
+            protocols=[{"name": "clock-sync", "ell": 16}],
+        )
+        clean, noisy = rows
+        assert clean.epsilon == 0.0 and noisy.epsilon == 0.05
+        assert clean.mean_settle_level > 0.99
+        assert noisy.mean_settle_level < 0.9

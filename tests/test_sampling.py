@@ -130,3 +130,95 @@ class TestDistributionalAgreement:
         hist_fast = np.bincount(fast, minlength=ell + 1) / fast.size
         hist_lit = np.bincount(literal, minlength=ell + 1) / literal.size
         assert np.abs(hist_fast - hist_lit).max() < 0.03
+
+
+class TestSparseDrawTier:
+    """The geometric-gap generator must agree with the histogram tier (and
+    the reference generator) in distribution across the extreme-x band."""
+
+    def _draws(self, method, x_rows, ell=56, blocks=2, n=30000, seed=0):
+        from repro.core.sampling import batched_binomial_counts
+
+        return batched_binomial_counts(
+            make_rng(seed), ell, np.asarray(x_rows, dtype=float), blocks, n, method
+        )
+
+    @pytest.mark.parametrize("x", [1 / 1000, 0.002, 0.0045, 1 - 1 / 1000, 1 - 0.0045])
+    def test_matches_histogram_tier(self, x):
+        from scipy import stats as scipy_stats
+
+        ell = 56
+        sparse = self._draws("sparse", [x], seed=1)[:, 0, :].ravel()
+        hist = self._draws("histogram", [x], seed=2)[:, 0, :].ravel()
+        assert sparse.min() >= 0 and sparse.max() <= ell
+        assert scipy_stats.ks_2samp(sparse, hist).pvalue > 1e-4
+
+    def test_moments_match_theory_deep_band(self):
+        ell, n = 74, 200000
+        for x in (1e-4, 5e-4, 1 - 1e-4):
+            counts = self._draws("sparse", [x], ell=ell, blocks=1, n=n, seed=3)[0, 0]
+            assert counts.mean() == pytest.approx(ell * x, rel=0.1, abs=5e-3)
+            assert counts.var() == pytest.approx(ell * x * (1 - x), rel=0.15, abs=5e-3)
+
+    def test_single_q_and_heterogeneous_paths_agree(self):
+        from scipy import stats as scipy_stats
+
+        # identical rows ride the concatenated-line path, distinct rows the
+        # per-lane path; both must produce the same law for the same x
+        x = 0.003
+        single = self._draws("sparse", [x, x, x], seed=4)
+        hetero = self._draws("sparse", [x, 0.001, 0.004], seed=5)
+        assert (
+            scipy_stats.ks_2samp(single[:, 0, :].ravel(), hetero[:, 0, :].ravel()).pvalue
+            > 1e-4
+        )
+
+    def test_mirrored_rows_share_single_q_path(self):
+        # x and 1-x have equal q; the mixed batch must mirror counts per row
+        ell = 40
+        out = self._draws("sparse", [0.002, 0.998], ell=ell, seed=6)
+        low, high = out[:, 0, :], out[:, 1, :]
+        assert low.mean() == pytest.approx(ell - high.mean(), abs=0.05)
+
+    def test_consensus_rows_are_deterministic_fills(self):
+        ell = 10
+        out = self._draws("sparse", [0.0, 1.0], ell=ell, n=500, seed=7)
+        assert (out[:, 0, :] == 0).all()
+        assert (out[:, 1, :] == ell).all()
+
+    def test_mid_range_forced_sparse_still_exact(self):
+        from scipy import stats as scipy_stats
+
+        # far outside the auto band the generator degrades to dense but must
+        # stay exact — forcing guards against silent tier-boundary bugs
+        sparse = self._draws("sparse", [0.5], ell=20, blocks=1, seed=8)[0, 0]
+        ref = self._draws("binomial", [0.5], ell=20, blocks=1, seed=9)[0, 0]
+        assert scipy_stats.ks_2samp(sparse, ref).pvalue > 1e-4
+
+    def test_ell_one_and_tiny_n(self):
+        out = self._draws("sparse", [0.01, 0.99], ell=1, n=7, seed=10)
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_auto_routes_sparse_band(self):
+        from scipy import stats as scipy_stats
+
+        # an auto call keyed on a deep-band fraction must match the reference
+        auto = self._draws("auto", [0.001], seed=11)[:, 0, :].ravel()
+        ref = self._draws("binomial", [0.001], seed=12)[:, 0, :].ravel()
+        assert scipy_stats.ks_2samp(auto, ref).pvalue > 1e-4
+
+    def test_sampler_accepts_sparse_method(self):
+        from repro.core.sampling import BatchedBinomialSampler
+
+        assert BatchedBinomialSampler("sparse").method == "sparse"
+        with pytest.raises(ValueError):
+            BatchedBinomialSampler("gaps")
+
+    def test_denormal_x_terminates_and_returns_modal_fill(self):
+        # Regression: x tiny enough that ln(U)/ln(1-q) overflows float64 used
+        # to saturate the int64 cast negative and spin the placement loop
+        # forever; the gap clamp keeps it finite. P(nonzero) ~ 1e-309 per
+        # element, so the draw is the modal fill for any practical size.
+        for xs in ([1e-310], [1e-310, 2e-310], [1 - 1e-16]):
+            out = self._draws("sparse", xs, ell=10, blocks=1, n=200, seed=13)
+            assert out.shape == (1, len(xs), 200)

@@ -474,14 +474,39 @@ class TestKeepResultsMigration:
             assert result.trajectory.shape[0] == result.rounds + 2
 
     def test_auto_keep_results_falls_back_without_vectorization(self):
+        # Since the clock-sync vectorization every shipped protocol is
+        # batch-vectorized, so the fallback is exercised by masking the flag.
         from repro.protocols.clock_sync import ClockSyncProtocol
 
+        def factory():
+            protocol = ClockSyncProtocol(64, 4)
+            protocol.batch_vectorized = False
+            return protocol
+
         stats = run_trials(
-            lambda: ClockSyncProtocol(64, 4), 64, AllWrong(),
+            factory, 64, AllWrong(),
             trials=2, max_rounds=150, seed=4, keep_results=True,
         )
         assert stats.engine == "sequential"
         assert len(stats.results) == 2
+
+    def test_clock_sync_traces_ride_the_batched_engine(self):
+        # The last ROADMAP trace follow-on: clock-sync trajectory recording
+        # used to pay the per-replica fallback; with step_batch it runs on
+        # the batched path, with retired rows frozen at their final value.
+        from repro.protocols.clock_sync import ClockSyncProtocol
+
+        stats = run_trials(
+            lambda: ClockSyncProtocol(64, 4), 64, AllWrong(),
+            trials=4, max_rounds=300, seed=4, keep_results=True,
+        )
+        assert stats.engine == "batched"
+        assert len(stats.results) == 4
+        for result in stats.results:
+            assert result.converged
+            assert result.trajectory[0] == pytest.approx(1 / 64)
+            assert result.final_fraction == 1.0
+            assert result.trajectory.shape[0] >= result.rounds + 1
 
 
 class TestTransitionsMigration:
