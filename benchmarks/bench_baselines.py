@@ -13,21 +13,22 @@ start and prints the comparison the paper makes qualitatively:
 * oracle-clock (passive, oracle clock)    — converges in O(log n), but the
                                             shared clock is an oracle.
 * clock-sync (decoupled messages)         — converges, but is not passive.
+
+The whole lineup is one declarative :class:`~repro.sweep.spec.SweepSpec`
+grid over the protocol axis, run through the sweep orchestrator — so the
+table parallelizes over ``REPRO_BENCH_JOBS`` worker processes and can
+persist/resume through ``REPRO_BENCH_STORE`` (see ``bench_common``).
 """
 
 from __future__ import annotations
 
-from bench_common import banner, results_path, run_once
-from repro.experiments.harness import run_trials
-from repro.initializers.standard import AllWrong
-from repro.protocols.clock_sync import ClockSyncProtocol
-from repro.protocols.fet import FETProtocol, ell_for
-from repro.protocols.majority import MajorityProtocol
-from repro.protocols.majority_sampling import MajoritySamplingProtocol
+import math
+
+from bench_common import banner, results_path, run_once, sweep_knobs
+from repro.experiments.harness import TrialStats
+from repro.protocols.fet import ell_for
 from repro.protocols.oracle_clock import OracleClockProtocol
-from repro.protocols.simple_trend import SimpleTrendProtocol
-from repro.protocols.undecided import UndecidedStateProtocol
-from repro.protocols.voter import VoterProtocol
+from repro.sweep import SweepSpec, run_sweep
 from repro.viz.csv_out import write_rows
 from repro.viz.tables import format_table
 
@@ -39,61 +40,70 @@ TRIALS = 10
 # polynomial (~n) timescale, which this budget excludes by construction.
 MAX_ROUNDS = 650  # ~ 3 * ln(2048)^2.5
 
+#: (table label, passive?, protocol component) — one grid cell per row, in
+#: axis order. ℓ-protocols default to the paper rule ℓ = ⌈8·ln n⌉ via the
+#: registry; clock-sync pins the same ℓ explicitly (its registry default is
+#: the minimal ℓ = 1).
+LINEUP = [
+    ("FET", True, "fet"),
+    ("simple-trend", True, "simple-trend"),
+    ("voter", True, "voter"),
+    ("3-majority", True, {"name": "k-majority", "k": 3}),
+    ("sample-majority", True, "sample-majority"),
+    ("undecided-state", True, "undecided-state"),
+    ("oracle-clock", True, {"name": "oracle-clock", "ell": 1}),
+    ("clock-sync", False, {"name": "clock-sync", "ell": ell_for(N)}),
+]
 
-def _factories():
-    ell = ell_for(N)
-    return [
-        ("FET", True, lambda: FETProtocol(ell)),
-        ("simple-trend", True, lambda: SimpleTrendProtocol(ell)),
-        ("voter", True, lambda: VoterProtocol()),
-        ("3-majority", True, lambda: MajorityProtocol(3)),
-        ("sample-majority", True, lambda: MajoritySamplingProtocol(ell)),
-        ("undecided-state", True, lambda: UndecidedStateProtocol()),
-        ("oracle-clock", True, lambda: OracleClockProtocol(N, ell=1)),
-        ("clock-sync", False, lambda: ClockSyncProtocol(N, ell)),
-    ]
+
+def baselines_spec(seed: int = 500) -> SweepSpec:
+    return SweepSpec(
+        name="baselines",
+        seed=seed,
+        trials=TRIALS,
+        axes={
+            "protocol": [component for _, _, component in LINEUP],
+            "n": [N],
+            "initializer": ["all-wrong"],
+        },
+        max_rounds=MAX_ROUNDS,
+    )
 
 
 def test_baseline_comparison(benchmark):
-    def build():
-        out = []
-        for index, (label, passive, factory) in enumerate(_factories()):
-            stats = run_trials(
-                factory,
-                N,
-                AllWrong(),
-                trials=TRIALS,
-                max_rounds=MAX_ROUNDS,
-                seed=500 + index,
-            )
-            out.append((label, passive, factory().describe(), stats))
-        return out
+    spec = baselines_spec()
+    jobs, store = sweep_knobs()
 
-    results = run_once(benchmark, build)
+    def build() -> list[TrialStats]:
+        outcome = run_sweep(spec, jobs=jobs, store=store)
+        return [result.stats() for result in outcome.results]
+
+    stats_by_cell = run_once(benchmark, build)
     print(banner(f"Baselines — all protocols from the all-wrong start, n={N}"))
     rows = []
     csv_rows = []
-    for label, passive, desc, stats in results:
+    by_label: dict[str, TrialStats] = {}
+    for (label, passive, _), stats in zip(LINEUP, stats_by_cell):
+        by_label[label] = stats
         summary = stats.time_summary()
         rows.append(
             [
                 label,
                 "yes" if passive else "no",
-                desc["samples_per_round"],
+                stats.protocol_name,
                 stats.row()["success"],
                 summary.median,
                 summary.p95,
             ]
         )
         csv_rows.append((label, passive, stats.successes, stats.trials, summary.median))
-    print(format_table(["protocol", "passive", "samples/rnd", "success", "median T", "p95 T"], rows))
+    print(format_table(["protocol", "passive", "component", "success", "median T", "p95 T"], rows))
     write_rows(
         results_path("baselines.csv"),
         ("protocol", "passive", "successes", "trials", "median"),
         csv_rows,
     )
 
-    by_label = {label: stats for label, _, _, stats in results}
     # The paper's qualitative table, asserted:
     assert by_label["FET"].successes == TRIALS
     assert by_label["simple-trend"].successes == TRIALS
@@ -109,7 +119,5 @@ def test_baseline_comparison(benchmark):
     # From the all-wrong start FET's bounce is very fast, while the
     # oracle-clock scheme must wait out its phase structure; both stay within
     # a small multiple of log n.
-    import math
-
     assert by_label["FET"].time_summary().p95 < 5 * math.log(N)
     assert by_label["oracle-clock"].time_summary().p95 < 3 * OracleClockProtocol(N).period

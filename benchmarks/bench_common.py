@@ -12,9 +12,25 @@ comparison against the paper.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def sweep_knobs() -> tuple[int, str | None]:
+    """Orchestrator knobs for SweepSpec-declared benchmarks.
+
+    ``REPRO_BENCH_JOBS`` fans the grid's cells over worker processes and
+    ``REPRO_BENCH_STORE`` points at a JSON-lines results store (resume /
+    skip-if-cached) — the payoff of declaring a benchmark's grid as a
+    :class:`~repro.sweep.spec.SweepSpec` instead of an ad-hoc loop. Both
+    default off so plain ``pytest`` runs measure honest single-process,
+    uncached executions.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS") or 1)
+    store = os.environ.get("REPRO_BENCH_STORE") or None
+    return jobs, store
 
 
 def results_path(name: str) -> Path:

@@ -4,16 +4,22 @@ Paper context: Theorem 1 uses ℓ = Θ(log n); the discussion section leaves
 "poly-logarithmic time with O(1) samples" open. We sweep ℓ from 1 to the
 theorem's c·ln n at fixed n and report success rates and times, mapping where
 the protocol degrades.
+
+The grid is declared as a :class:`~repro.sweep.spec.SweepSpec`
+(``sample_size_spec``, built on the dotted ``protocol.ell`` parameter axis)
+and run through the sweep orchestrator — parallel over
+``REPRO_BENCH_JOBS``, resumable through ``REPRO_BENCH_STORE``.
 """
 
 from __future__ import annotations
 
 import math
 
-from bench_common import banner, results_path, run_once
-from repro.experiments.convergence import sweep_sample_sizes
+from bench_common import banner, results_path, run_once, sweep_knobs
+from repro.experiments.convergence import sample_size_spec, scaling_rows
 from repro.initializers.standard import BernoulliRandom
 from repro.protocols.fet import ell_for
+from repro.sweep import run_sweep
 from repro.viz.csv_out import write_rows
 from repro.viz.tables import format_table
 
@@ -24,16 +30,18 @@ MAX_ROUNDS = 20_000
 
 def test_sample_size_ablation(benchmark):
     ells = [1, 2, 4, 8, 16, 32, ell_for(N)]
+    spec = sample_size_spec(
+        N,
+        ells,
+        trials=TRIALS,
+        seed=7,
+        initializer=BernoulliRandom(0.5),
+        max_rounds=MAX_ROUNDS,
+    )
+    jobs, store = sweep_knobs()
 
     def build():
-        return sweep_sample_sizes(
-            N,
-            ells,
-            trials=TRIALS,
-            seed=7,
-            initializer=BernoulliRandom(0.5),
-            max_rounds=MAX_ROUNDS,
-        )
+        return scaling_rows(run_sweep(spec, jobs=jobs, store=store))
 
     rows = run_once(benchmark, build)
     print(banner(f"Sample-size ablation — FET at n={N} (ln n = {math.log(N):.1f})"))

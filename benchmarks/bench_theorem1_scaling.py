@@ -9,15 +9,22 @@ exponent b against the theorem's upper bound b ≤ 2.5. (The bound is an upper
 bound: the measured exponent from benign regions is smaller — the log^{5/2}
 cost is paid only by worst-case Yellow starts, which bench_adversarial_inits
 probes separately.)
+
+The grid is declared as a :class:`~repro.sweep.spec.SweepSpec`
+(``population_scaling_spec``) and run through the sweep orchestrator, so
+the table parallelizes over ``REPRO_BENCH_JOBS`` worker processes and can
+persist/resume through ``REPRO_BENCH_STORE`` (see ``bench_common``) — the
+same cells (and derived seeds) as ``sweep_population_sizes``.
 """
 
 from __future__ import annotations
 
 import math
 
-from bench_common import banner, results_path, run_once
+from bench_common import banner, results_path, run_once, sweep_knobs
 from repro.analysis.theory import theorem1_bound
-from repro.experiments.convergence import fit_scaling, sweep_population_sizes
+from repro.experiments.convergence import fit_scaling, population_scaling_spec, scaling_rows
+from repro.sweep import run_sweep
 from repro.viz.csv_out import write_rows
 from repro.viz.tables import format_table
 
@@ -26,8 +33,11 @@ TRIALS = 15
 
 
 def test_theorem1_scaling(benchmark):
+    spec = population_scaling_spec(NS, trials=TRIALS, seed=1)
+    jobs, store = sweep_knobs()
+
     def build():
-        rows = sweep_population_sizes(NS, trials=TRIALS, seed=1)
+        rows = scaling_rows(run_sweep(spec, jobs=jobs, store=store))
         fit = fit_scaling(rows, statistic="median")
         return rows, fit
 

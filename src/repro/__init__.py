@@ -40,6 +40,7 @@ Quickstart::
     print(result.converged, result.rounds)
 """
 
+from .config import RunSpec
 from .analysis import (
     Domain,
     DomainPartition,
@@ -76,7 +77,7 @@ from .protocols import (
 from .sweep import ResultsStore, SweepResult, SweepSpec, run_sweep
 from .trace import BatchTrace, FullTrace, RingBufferTrace, TraceRecorder
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchTrace",
@@ -94,6 +95,7 @@ __all__ = [
     "PopulationState",
     "Protocol",
     "ResultsStore",
+    "RunSpec",
     "RingBufferTrace",
     "RunResult",
     "SimpleTrendProtocol",

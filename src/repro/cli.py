@@ -25,24 +25,24 @@ import sys
 from typing import Sequence
 
 from .analysis.domains import DomainPartition
-from .core.batch import BatchedEngine
+from .config import RunSpec
 from .core.engine import run_protocol
-from .core.noise import BatchedNoisyCountSampler
 from .core.population import make_population
 from .core.rng import make_rng
 from .experiments.convergence import default_round_budget, fit_scaling, sweep_population_sizes
-from .experiments.harness import prepare_batch, run_trials
+from .experiments.harness import run_trials
 from .initializers.standard import AllWrong
 from .protocols.fet import FETProtocol, ell_for
 from .protocols.majority_sampling import MajoritySamplingProtocol
 from .protocols.oracle_clock import OracleClockProtocol
 from .protocols.voter import VoterProtocol
 from .sweep import (
-    build_initializer,
-    build_protocol,
+    ResultsStore,
+    component_catalog,
     fet_demo_spec,
     initializer_names,
     load_spec,
+    measure_kinds,
     protocol_names,
     run_sweep,
 )
@@ -114,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--out", type=str, default=None, help="write the aggregate CSV here")
     sweep_cmd.add_argument(
         "--force", action="store_true", help="recompute cells even when the store has them"
+    )
+    sweep_cmd.add_argument(
+        "--compact",
+        action="store_true",
+        help="rewrite the --store file keeping only the latest record per key, then exit",
+    )
+    sweep_cmd.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_components",
+        help="print the registered protocol/initializer/sampler components and exit",
     )
 
     trace_cmd = sub.add_parser(
@@ -245,21 +256,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    protocol = build_protocol({"name": args.protocol}, args.n)
-    initializer = build_initializer({"name": args.init})
-    batch, states, rng = prepare_batch(
-        protocol, args.n, initializer, trials=args.replicas, seed=args.seed
+    budget = args.max_rounds if args.max_rounds is not None else default_round_budget(args.n)
+    spec = RunSpec(
+        protocol={"name": args.protocol},
+        n=args.n,
+        noise=args.noise,
+        initializer={"name": args.init},
+        trials=args.replicas,
+        max_rounds=budget,
+        seed=args.seed,
     )
     recorder = make_recorder(ring=args.ring, stride=args.stride, record_flips=args.flips)
-    engine = BatchedEngine(
-        protocol, batch, sampler=BatchedNoisyCountSampler(args.noise), rng=rng, states=states
-    )
-    budget = args.max_rounds if args.max_rounds is not None else default_round_budget(args.n)
+    engine = spec.batched_engine()
     result = engine.run(budget, recorder=recorder)
     trace = recorder.trace()
     settled = settle_rounds(trace.x, trace.rounds)
     print(
-        f"{protocol.name}: n={args.n}, {initializer.name} start, {args.replicas} replica(s), "
+        f"{engine.protocol.name}: n={args.n}, {args.init} start, {args.replicas} replica(s), "
         f"budget {budget} rounds"
         + (f", noise eps={args.noise}" if args.noise else "")
     )
@@ -282,7 +295,42 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.converged.all() else 1
 
 
+def _cmd_sweep_list() -> int:
+    """Print the component catalog straight from the registries."""
+    catalog = component_catalog()
+    for kind in ("protocol", "initializer", "sampler"):
+        rows = [
+            [name, ", ".join(params) if params else "-"]
+            for name, params in catalog[kind].items()
+        ]
+        print(f"{kind}s:")
+        print(format_table(["name", "accepted params"], rows))
+        print()
+    print(f"measures: {', '.join(measure_kinds())}")
+    return 0
+
+
+def _cmd_sweep_compact(store_path: str | None) -> int:
+    if not store_path:
+        print("error: --compact needs --store pointing at the JSONL file to rewrite",
+              file=sys.stderr)
+        return 2
+    store = ResultsStore(store_path)
+    summary = store.compact()
+    dropped = summary["lines_before"] - summary["records"]
+    print(
+        f"compacted {store_path}: kept {summary['records']} record(s), "
+        f"dropped {dropped} superseded line(s) and "
+        f"{summary['corrupt_lines']} corrupt line(s)"
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list_components:
+        return _cmd_sweep_list()
+    if args.compact:
+        return _cmd_sweep_compact(args.store)
     spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
     result = run_sweep(spec, jobs=args.jobs, store=args.store, force=args.force)
     print(f"sweep {spec.name!r}: {len(result.cells)} cells, jobs={args.jobs}")

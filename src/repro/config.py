@@ -1,0 +1,386 @@
+"""One declarative run configuration for every execution layer.
+
+A :class:`RunSpec` fully describes one experimental *condition* — the unit
+every table in the paper reproduction is built from: a protocol component,
+an initializer component, a sampler/observation component, the population
+shape (``n``, ``num_sources``, ``correct_opinion``), the engine policy,
+the stability/linger windows, the round budget, and the measurement. All
+components are named ``{"name": ..., params}`` dicts resolved through the
+registries in :mod:`repro.sweep.registry`, so a spec:
+
+* round-trips through **canonical JSON** (:func:`canonical_json`) — it can
+  live in a file, travel to a worker process, and be diffed;
+* has a **content-hash key** (:meth:`RunSpec.key`) — the results-store
+  identity, covering everything that determines the outcome;
+* derives **seeds** deterministically (:func:`derive_seed`) — the same
+  condition under the same base seed gets the same stream in every
+  process, job count, and resumed run.
+
+The layers consume it uniformly:
+
+* :meth:`RunSpec.execute` runs the condition's batch of trials and returns
+  :class:`~repro.experiments.harness.TrialStats` — the legacy
+  :func:`~repro.experiments.harness.run_trials` factory-kwargs signature is
+  now a thin adapter over this method;
+* a sweep :class:`~repro.sweep.spec.Cell` *is* a ``RunSpec`` (plus its
+  derived seed), so grids, the store, and the dispatcher all speak it;
+* :meth:`RunSpec.batched_engine` hands trace/θ consumers a fully prepared
+  :class:`~repro.core.batch.BatchedEngine`, so no caller outside the
+  harness builds engines or pairs scalar/batched samplers by hand.
+
+**Hash compatibility.** :meth:`spec_dict` emits the new fields
+(``sampler``, ``num_sources``, ``correct_opinion``, ``linger_rounds``)
+only when they differ from their defaults, so every condition expressible
+before those fields existed keeps its exact content hash — and therefore
+its derived seed, store key, and aggregate CSV bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core.batch import BatchedEngine
+    from .core.population import PopulationState
+    from .core.protocol import Protocol
+    from .core.sampling import BatchedSampler, Sampler
+    from .experiments.harness import TrialStats
+    from .initializers.standard import Initializer
+    from .trace.recorder import TraceRecorder
+
+__all__ = [
+    "RUN_SCHEMA",
+    "RunSpec",
+    "canonical_json",
+    "default_round_budget",
+    "derive_seed",
+]
+
+#: Bumped when the run-spec schema changes incompatibly, so stale store
+#: entries miss instead of deserializing into the wrong shape. (Additive,
+#: default-elided fields do NOT bump it — see the hash-compatibility note.)
+RUN_SCHEMA = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize to the canonical form used for hashing (sorted keys, no
+    whitespace) — byte-stable across processes and sessions."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(base_seed: int, spec_dict: dict) -> int:
+    """Deterministic integer seed for one run configuration.
+
+    The configuration's canonical JSON is hashed and the digest words are
+    spawned through a :class:`numpy.random.SeedSequence` together with the
+    base seed: distinct configurations (or distinct base seeds) give
+    independent streams, while the same configuration under the same base
+    seed gets the same seed in every process, job count, and resumed run.
+    """
+    digest = hashlib.sha256(canonical_json(spec_dict).encode()).digest()
+    words = tuple(int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4))
+    sequence = np.random.SeedSequence((int(base_seed), *words))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def default_round_budget(n: int) -> int:
+    """The Theorem-1 poly-log round budget: ``max(200, 40·(ln n)^2.5)``.
+
+    The one definition of the convention shared by every consumer — run
+    specs with ``max_rounds=None``, the single-run drivers (``repro
+    trace``, the sample-size ablation). ``SweepSpec`` keeps its own
+    *parameterized* resolver (``max_rounds_factor``/``min_rounds``) because
+    those knobs are part of every cell's seed-deriving content hash.
+    """
+    return max(200, int(40 * math.log(n) ** 2.5))
+
+
+def _default_initializer() -> dict:
+    return {"name": "all-wrong"}
+
+
+def _default_measure() -> dict:
+    return {"kind": "consensus"}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-described experimental condition (see module docstring).
+
+    Parameters
+    ----------
+    protocol:
+        ``{"name": ..., params}`` component (see the protocol registry), or
+        ``None`` for adapter use where a live ``protocol_factory`` override
+        is supplied to :meth:`execute` — a ``None`` protocol cannot be
+        serialized or hashed.
+    n:
+        Population size (sources included).
+    noise:
+        Per-bit observation-flip probability ε. Sugar for the default noisy
+        observation component: when ``sampler`` is ``None`` and ε > 0 the
+        run observes through the paired
+        :class:`~repro.core.noise.NoisyCountSampler` /
+        :class:`~repro.core.noise.BatchedNoisyCountSampler`.
+    initializer:
+        ``{"name": ..., params}`` component (initializer registry).
+    trials:
+        Independent trials of the condition (0 degrades to an empty
+        aggregate).
+    max_rounds:
+        Per-trial round budget; ``None`` applies the poly-log convention
+        ``max(200, 40·(ln n)^2.5)`` at execution time (grids resolve their
+        own parameterized rule per cell before hashing).
+    stability_rounds:
+        Consecutive all-correct rounds required for convergence.
+    engine:
+        ``"auto"`` (batched when the protocol and observation component
+        support it), ``"batched"``, or ``"sequential"``.
+    measure:
+        Measurement descriptor; kinds live in the sweep runner's registry.
+    sampler:
+        Observation component ``{"name": ..., params}`` (sampler registry),
+        or ``None`` for the noise-derived default. Scalar and batched
+        builders are *paired in the registry*, so declaring a sampler can
+        never strand the batched engine without its matching observation
+        model.
+    num_sources:
+        Number of agreeing source agents (the E-multi axis).
+    correct_opinion:
+        The bit the population must converge on.
+    linger_rounds:
+        Batched-engine settle window: converged replicas keep stepping this
+        many rounds before retiring (trace consumers; ignored by the
+        sequential engine, which steps on explicitly).
+    seed:
+        Base RNG seed of the condition. Sweep cells carry a derived seed.
+    """
+
+    protocol: dict | None
+    n: int
+    noise: float = 0.0
+    initializer: dict = field(default_factory=_default_initializer)
+    trials: int = 1
+    max_rounds: int | None = None
+    stability_rounds: int = 2
+    engine: str = "auto"
+    measure: dict = field(default_factory=_default_measure)
+    sampler: dict | None = None
+    num_sources: int = 1
+    correct_opinion: int = 1
+    linger_rounds: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"population sizes must be >= 2, got {self.n}")
+        if self.trials < 0:
+            raise ValueError(f"trials must be >= 0, got {self.trials}")
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.stability_rounds < 1:
+            raise ValueError(f"stability_rounds must be >= 1, got {self.stability_rounds}")
+        if self.linger_rounds < 0:
+            raise ValueError(f"linger_rounds must be >= 0, got {self.linger_rounds}")
+        if self.engine not in ("auto", "batched", "sequential"):
+            raise ValueError(
+                f"engine must be 'auto', 'batched' or 'sequential', got {self.engine!r}"
+            )
+        if not 0.0 <= self.noise <= 0.5:
+            raise ValueError(f"noise levels must be in [0, 1/2], got {self.noise}")
+        if self.correct_opinion not in (0, 1):
+            raise ValueError(f"correct_opinion must be 0 or 1, got {self.correct_opinion}")
+        if not 1 <= self.num_sources < self.n:
+            raise ValueError(
+                f"num_sources must be in [1, n), got {self.num_sources} with n={self.n}"
+            )
+
+    # --------------------------------------------------------- serialization
+
+    def spec_dict(self) -> dict:
+        """The configuration without the seed — the seed-derivation and
+        content-hash input.
+
+        New fields are emitted only at non-default values so pre-existing
+        conditions keep their exact hashes (see the module docstring).
+        """
+        if self.protocol is None:
+            raise ValueError("a RunSpec with protocol=None cannot be serialized or hashed")
+        out = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "noise": self.noise,
+            "initializer": self.initializer,
+            "trials": self.trials,
+            "max_rounds": self.max_rounds,
+            "stability_rounds": self.stability_rounds,
+            "engine": self.engine,
+            "measure": self.measure,
+        }
+        if self.sampler is not None:
+            out["sampler"] = self.sampler
+        if self.num_sources != 1:
+            out["num_sources"] = self.num_sources
+        if self.correct_opinion != 1:
+            out["correct_opinion"] = self.correct_opinion
+        if self.linger_rounds != 0:
+            out["linger_rounds"] = self.linger_rounds
+        return out
+
+    def to_dict(self) -> dict:
+        out = self.spec_dict()
+        out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical JSON of the full spec (seed included)."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def key(self) -> str:
+        """Content hash of the configuration + seed: the results-store key."""
+        payload = {"schema": RUN_SCHEMA, **self.to_dict()}
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for logs and errors."""
+        parts = [self.protocol["name"] if self.protocol else "<factory>", f"n={self.n}"]
+        if self.noise:
+            parts.append(f"eps={self.noise}")
+        if self.sampler is not None:
+            parts.append(self.sampler["name"])
+        if self.num_sources != 1:
+            parts.append(f"sources={self.num_sources}")
+        parts.append(self.initializer["name"])
+        return " ".join(parts)
+
+    # ------------------------------------------------------------ resolution
+    #
+    # Declarative components -> live objects. Registry imports are deferred:
+    # the registries import the protocol/initializer packages, which import
+    # core — making them module-level imports here would cycle through
+    # repro.sweep at package-import time.
+
+    def resolved_max_rounds(self) -> int:
+        """The round budget, with ``None`` resolved by the poly-log rule."""
+        if self.max_rounds is not None:
+            return self.max_rounds
+        return default_round_budget(self.n)
+
+    def build_protocol(self) -> "Protocol":
+        """Instantiate the declared protocol component for this ``n``."""
+        from .sweep.registry import build_protocol
+
+        if self.protocol is None:
+            raise ValueError("this RunSpec declares no protocol component")
+        return build_protocol(self.protocol, self.n)
+
+    def protocol_factory(self) -> Callable[[], "Protocol"]:
+        """Zero-argument factory building a fresh protocol per call."""
+        from .sweep.registry import protocol_factory
+
+        if self.protocol is None:
+            raise ValueError("this RunSpec declares no protocol component")
+        return protocol_factory(self.protocol, self.n)
+
+    def build_initializer(self) -> "Initializer":
+        """Instantiate the declared initializer component."""
+        from .sweep.registry import build_initializer
+
+        return build_initializer(self.initializer)
+
+    def samplers(self) -> tuple[Callable[[], "Sampler"] | None, "BatchedSampler | None"]:
+        """The paired (scalar factory, batched) observation components.
+
+        Resolution: an explicit ``sampler`` component wins; otherwise
+        ``noise`` > 0 selects the noisy pair and ``noise`` = 0 the engine
+        defaults (``None`` scalar factory means "engine default"). Pairing
+        happens in the sampler registry, so a declared component can never
+        reach the batched engine without its batched counterpart — a
+        registry entry without one (e.g. the literal index sampler) returns
+        ``None`` for the batched side, which :meth:`use_batched` treats as
+        "sequential only".
+        """
+        from .sweep.registry import build_samplers
+
+        if self.sampler is not None:
+            return build_samplers(self.sampler)
+        if self.noise > 0.0:
+            return build_samplers({"name": "noisy", "epsilon": self.noise})
+        from .core.sampling import BatchedBinomialSampler
+
+        return None, BatchedBinomialSampler()
+
+    def use_batched(self, protocol: "Protocol") -> bool:
+        """Engine resolution for a live protocol instance."""
+        if self.engine == "sequential":
+            return False
+        if self.engine == "batched":
+            return True
+        return protocol.batch_vectorized and self.samplers()[1] is not None
+
+    # ------------------------------------------------------------- execution
+
+    def execute(
+        self,
+        *,
+        keep_results: bool = False,
+        protocol_factory: Callable[[], "Protocol"] | None = None,
+        initializer: "Initializer | None" = None,
+        sampler_factory: Callable[[], "Sampler"] | None = None,
+        batched_sampler: "BatchedSampler | None" = None,
+        population_factory: Callable[[], "PopulationState"] | None = None,
+    ) -> "TrialStats":
+        """Run the condition's batch of trials and aggregate the outcomes.
+
+        The keyword overrides exist for the legacy factory-kwargs adapters
+        (:func:`~repro.experiments.harness.run_trials`) and for components
+        with no declarative form (crafted populations, scripted samplers);
+        each override replaces the corresponding declared component. All
+        execution — engine choice, sampler pairing, per-trial vs. lock-step
+        stepping — happens in the harness core behind this method.
+        """
+        from .experiments.harness import execute_run
+
+        return execute_run(
+            self,
+            keep_results=keep_results,
+            protocol_factory=protocol_factory,
+            initializer=initializer,
+            sampler_factory=sampler_factory,
+            batched_sampler=batched_sampler,
+            population_factory=population_factory,
+        )
+
+    def batched_engine(
+        self,
+        *,
+        protocol: "Protocol | None" = None,
+        initializer: "Initializer | None" = None,
+    ) -> "BatchedEngine":
+        """A fully prepared lock-step engine for this condition.
+
+        Builds the initialized ``(R, n)`` batch (same spawned streams as
+        :meth:`execute`'s batched path), resolves the batched observation
+        component, and returns the engine ready for
+        :meth:`~repro.core.batch.BatchedEngine.run` — the one entry point
+        for trace/θ consumers, so they never assemble engines or pair
+        samplers by hand. ``protocol``/``initializer`` accept pre-built
+        instances to avoid rebuilding them around a registry validation.
+        """
+        from .experiments.harness import make_batched_engine
+
+        return make_batched_engine(self, protocol=protocol, initializer=initializer)

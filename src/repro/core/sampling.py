@@ -183,7 +183,12 @@ class BatchedSampler(ABC):
         blocks: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Return a ``(blocks, R, n)`` int array of independent count tensors."""
+        """Return a ``(blocks, R, n)`` int array of independent count tensors.
+
+        The returned tensor must be freshly allocated per call: ownership
+        passes to the caller, and vectorized protocol steps may consume the
+        blocks as scratch buffers on their hot path.
+        """
         return np.stack([self.counts(batch, ell, rng) for _ in range(blocks)])
 
     @abstractmethod

@@ -8,7 +8,13 @@ from .convergence import (
     sweep_population_sizes,
     sweep_sample_sizes,
 )
-from .harness import TrialStats, prepare_batch, run_trials
+from .harness import (
+    TrialStats,
+    execute_run,
+    make_batched_engine,
+    prepare_batch,
+    run_trials,
+)
 from .multisource import SourceRow, sweep_sources
 from .robustness import NoiseRow, sweep_noise
 from .trajectories import AnnotatedRun, run_annotated, run_annotated_batch
@@ -26,7 +32,9 @@ __all__ = [
     "WorstCaseResult",
     "collect_transitions",
     "default_round_budget",
+    "execute_run",
     "fit_scaling",
+    "make_batched_engine",
     "prepare_batch",
     "run_annotated",
     "run_annotated_batch",

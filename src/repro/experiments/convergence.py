@@ -19,6 +19,10 @@ from pathlib import Path
 
 import numpy as np
 
+# default_round_budget is defined in repro.config (the run-spec layer
+# resolves max_rounds=None with it) and re-exported here for the drivers
+# and CLI that have always imported it from this module.
+from ..config import default_round_budget
 from ..initializers.standard import AllWrong, Initializer
 from ..protocols.fet import DEFAULT_SAMPLE_CONSTANT, ell_for
 from ..stats.fitting import LogPowerFit, fit_log_power
@@ -31,20 +35,14 @@ __all__ = [
     "ScalingRow",
     "default_round_budget",
     "fit_scaling",
+    "population_scaling_spec",
+    "sample_size_spec",
+    "scaling_rows",
     "sweep_population_sizes",
     "sweep_sample_sizes",
 ]
 
 
-def default_round_budget(n: int) -> int:
-    """The Theorem-1 poly-log round budget: ``max(200, 40·(ln n)^2.5)``.
-
-    The one definition of the convention shared by the single-run drivers
-    (``repro trace``, the sample-size ablation); ``SweepSpec`` keeps its own
-    *parameterized* resolver (``max_rounds_factor``/``min_rounds``) because
-    those knobs are part of every cell's seed-deriving content hash.
-    """
-    return max(200, int(40 * np.log(n) ** 2.5))
 
 
 @dataclass(frozen=True)
@@ -54,6 +52,87 @@ class ScalingRow:
     n: int
     ell: int
     stats: TrialStats
+
+
+def population_scaling_spec(
+    ns: list[int],
+    *,
+    trials: int,
+    seed: int,
+    sample_constant: float = DEFAULT_SAMPLE_CONSTANT,
+    initializer: Initializer | None = None,
+    max_rounds_factor: float = 40.0,
+) -> SweepSpec:
+    """The Theorem-1 scaling grid as a declarative :class:`SweepSpec`.
+
+    One cell per population size with ``ℓ = ⌈c·ln n⌉`` and the poly-log
+    round budget. The benchmark suite and the driver below both run this
+    exact spec, so their cells (and derived seeds) coincide — a store
+    filled by one serves the other.
+    """
+    initializer = initializer if initializer is not None else AllWrong()
+    return SweepSpec(
+        name="population-scaling",
+        seed=seed,
+        trials=trials,
+        axes={
+            "protocol": [{"name": "fet", "sample_constant": sample_constant}],
+            "n": list(ns),
+            "initializer": [initializer.spec()],
+        },
+        max_rounds=None,
+        max_rounds_factor=max_rounds_factor,
+        min_rounds=50,
+    )
+
+
+def sample_size_spec(
+    n: int,
+    ells: list[int],
+    *,
+    trials: int,
+    seed: int,
+    initializer: Initializer | None = None,
+    max_rounds: int | None = None,
+) -> SweepSpec:
+    """The ℓ-ablation grid as a declarative :class:`SweepSpec`.
+
+    Declared through the dotted ``protocol.ell`` parameter axis — one grid
+    instead of one protocol entry per ℓ. The dotted merge produces exactly
+    the ``{"name": "fet", "ell": ...}`` component the per-entry form did,
+    so cells, seeds, and stored results are unchanged.
+    """
+    initializer = initializer if initializer is not None else AllWrong()
+    if max_rounds is None:
+        max_rounds = default_round_budget(n)
+    return SweepSpec(
+        name="sample-size-ablation",
+        seed=seed,
+        trials=trials,
+        axes={
+            "protocol": ["fet"],
+            "protocol.ell": [int(ell) for ell in ells],
+            "n": [n],
+            "initializer": [initializer.spec()],
+        },
+        max_rounds=max_rounds,
+    )
+
+
+def scaling_rows(outcome, sample_constant: float = DEFAULT_SAMPLE_CONSTANT) -> list[ScalingRow]:
+    """Map a convergence-sweep outcome onto :class:`ScalingRow` entries.
+
+    Reads ℓ from each cell's protocol component when pinned there, falling
+    back to the paper rule ``ℓ = ⌈c·ln n⌉`` the registry applies.
+    """
+    return [
+        ScalingRow(
+            n=cell.n,
+            ell=int(cell.protocol.get("ell", ell_for(cell.n, sample_constant))),
+            stats=result.stats(),
+        )
+        for cell, result in zip(outcome.cells, outcome.results)
+    ]
 
 
 def sweep_population_sizes(
@@ -75,25 +154,15 @@ def sweep_population_sizes(
     per-``n`` cells out over worker processes; ``store`` makes the sweep
     resumable (see :func:`repro.sweep.run_sweep`).
     """
-    initializer = initializer if initializer is not None else AllWrong()
-    spec = SweepSpec(
-        name="population-scaling",
-        seed=seed,
+    spec = population_scaling_spec(
+        ns,
         trials=trials,
-        axes={
-            "protocol": [{"name": "fet", "sample_constant": sample_constant}],
-            "n": list(ns),
-            "initializer": [initializer.spec()],
-        },
-        max_rounds=None,
+        seed=seed,
+        sample_constant=sample_constant,
+        initializer=initializer,
         max_rounds_factor=max_rounds_factor,
-        min_rounds=50,
     )
-    outcome = run_sweep(spec, jobs=jobs, store=store)
-    return [
-        ScalingRow(n=cell.n, ell=ell_for(cell.n, sample_constant), stats=result.stats())
-        for cell, result in zip(outcome.cells, outcome.results)
-    ]
+    return scaling_rows(run_sweep(spec, jobs=jobs, store=store), sample_constant)
 
 
 def sweep_sample_sizes(
@@ -108,25 +177,10 @@ def sweep_sample_sizes(
     store: ResultsStore | str | Path | None = None,
 ) -> list[ScalingRow]:
     """Measure FET convergence at fixed ``n`` for each sample size ℓ."""
-    initializer = initializer if initializer is not None else AllWrong()
-    if max_rounds is None:
-        max_rounds = default_round_budget(n)
-    spec = SweepSpec(
-        name="sample-size-ablation",
-        seed=seed,
-        trials=trials,
-        axes={
-            "protocol": [{"name": "fet", "ell": int(ell)} for ell in ells],
-            "n": [n],
-            "initializer": [initializer.spec()],
-        },
-        max_rounds=max_rounds,
+    spec = sample_size_spec(
+        n, ells, trials=trials, seed=seed, initializer=initializer, max_rounds=max_rounds
     )
-    outcome = run_sweep(spec, jobs=jobs, store=store)
-    return [
-        ScalingRow(n=n, ell=int(cell.protocol["ell"]), stats=result.stats())
-        for cell, result in zip(outcome.cells, outcome.results)
-    ]
+    return scaling_rows(run_sweep(spec, jobs=jobs, store=store))
 
 
 def fit_scaling(rows: list[ScalingRow], statistic: str = "median") -> LogPowerFit:

@@ -2,9 +2,21 @@
 
 Runs many independent trials of a protocol from a chosen initializer and
 aggregates convergence statistics. This is the workhorse behind every
-benchmark table.
+benchmark table — and the **only** layer that assembles engines and pairs
+scalar/batched observation models. Everything above it speaks
+:class:`~repro.config.RunSpec`:
 
-Two execution engines are available (``engine=`` keyword):
+* :func:`execute_run` — the execution core behind
+  :meth:`RunSpec.execute`: resolves the spec's declarative components
+  (with optional live-object overrides), picks the engine, and runs the
+  batch of trials;
+* :func:`make_batched_engine` — the core behind
+  :meth:`RunSpec.batched_engine`: a fully prepared lock-step engine for
+  trace/θ consumers;
+* :func:`run_trials` — the legacy factory-kwargs signature, kept working
+  as a thin adapter over :meth:`RunSpec.execute`.
+
+Two execution engines are available (``engine`` policy):
 
 * ``"sequential"`` — one :class:`SynchronousEngine` per trial, each on its own
   spawned RNG stream.
@@ -18,9 +30,9 @@ Two execution engines are available (``engine=`` keyword):
   :class:`~repro.trace.FullTrace` recorder and converting the recorded
   ``(R, T)`` matrix back into per-trial :class:`RunResult` objects.
 * ``"auto"`` (default) — batched when the protocol ships a vectorized
-  ``step_batch`` (``Protocol.batch_vectorized``) and nothing forces the
-  sequential path; sequential otherwise. ``engine="sequential"`` remains the
-  explicit escape hatch for bitwise per-trial streams.
+  ``step_batch`` (``Protocol.batch_vectorized``) and the observation model
+  has a batched side; sequential otherwise. ``engine="sequential"`` remains
+  the explicit escape hatch for bitwise per-trial streams.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..config import RunSpec
 from ..core.batch import BatchedEngine, BatchedPopulation, stack_states
 from ..core.engine import SynchronousEngine
 from ..core.population import PopulationState, make_population
@@ -41,7 +54,13 @@ from ..initializers.standard import Initializer
 from ..stats.summary import TimesSummary, describe_times, wilson_interval
 from ..trace import FullTrace
 
-__all__ = ["TrialStats", "prepare_batch", "run_trials"]
+__all__ = [
+    "TrialStats",
+    "execute_run",
+    "make_batched_engine",
+    "prepare_batch",
+    "run_trials",
+]
 
 
 @dataclass
@@ -107,34 +126,96 @@ def run_trials(
 ) -> TrialStats:
     """Run ``trials`` independent runs and aggregate their outcomes.
 
+    Legacy factory-kwargs front door, kept stable: it adapts its arguments
+    onto a :class:`~repro.config.RunSpec` and calls
+    :meth:`~repro.config.RunSpec.execute` with the factories as live-object
+    overrides. New code should construct the ``RunSpec`` directly — the
+    declarative components cover the common cases (including paired noisy
+    observation models via ``noise``/``sampler``) without any factory
+    plumbing.
+
     Each trial builds a fresh population (factories keep trials independent
     even for stateful protocols), applies ``initializer`` under its own RNG
-    stream, and runs to convergence or ``max_rounds`` — on the per-trial
-    sequential engine or the lock-step batched engine, per ``engine`` (see
-    the module docstring). ``trials=0`` is allowed and yields an empty
-    aggregate (no successes, empty ``times``, NaN summaries) without
-    touching either engine. ``batched_sampler`` supplies the batched
-    observation model when ``sampler_factory`` customizes the sequential one
-    (e.g. :class:`~repro.core.noise.BatchedNoisyCountSampler` to pair with
-    :class:`~repro.core.noise.NoisyCountSampler`).
+    stream, and runs to convergence or ``max_rounds``. ``trials=0`` is
+    allowed and yields an empty aggregate (no successes, empty ``times``,
+    NaN summaries) without touching either engine. ``batched_sampler``
+    supplies the batched observation model when ``sampler_factory``
+    customizes the sequential one (e.g.
+    :class:`~repro.core.noise.BatchedNoisyCountSampler` to pair with
+    :class:`~repro.core.noise.NoisyCountSampler`) — declaratively-built
+    specs never need the pair, the sampler registry pairs them.
     """
     if trials < 0:
         raise ValueError(f"trials must be >= 0, got {trials}")
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
-    if engine not in ("auto", "batched", "sequential"):
-        raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {engine!r}")
-    if engine == "batched" and sampler_factory is not None and batched_sampler is None:
+    spec = RunSpec(
+        protocol=None,
+        n=n,
+        trials=trials,
+        max_rounds=max_rounds,
+        seed=seed,
+        correct_opinion=correct_opinion,
+        stability_rounds=stability_rounds,
+        engine=engine,
+    )
+    return spec.execute(
+        keep_results=keep_results,
+        protocol_factory=protocol_factory,
+        initializer=initializer,
+        sampler_factory=sampler_factory,
+        batched_sampler=batched_sampler,
+        population_factory=population_factory,
+    )
+
+
+def execute_run(
+    spec: RunSpec,
+    *,
+    keep_results: bool = False,
+    protocol_factory: Callable[[], Protocol] | None = None,
+    initializer: Initializer | None = None,
+    sampler_factory: Callable[[], Sampler] | None = None,
+    batched_sampler: BatchedSampler | None = None,
+    population_factory: Callable[[], PopulationState] | None = None,
+) -> TrialStats:
+    """Execution core of :meth:`RunSpec.execute` (see the module docstring).
+
+    Keyword overrides replace the spec's declarative components with live
+    objects — the adapter path of :func:`run_trials` and the escape hatch
+    for components with no declarative form. When ``sampler_factory`` is
+    overridden without a ``batched_sampler``, an explicit ``"batched"``
+    engine request is an error and ``"auto"`` falls back to sequential
+    (exactly the legacy contract); declarative samplers are always paired
+    by the registry.
+    """
+    if spec.engine == "batched" and sampler_factory is not None and batched_sampler is None:
         raise ValueError(
             "a custom sampler_factory needs a matching batched_sampler "
             "for the batched engine"
         )
+    if protocol_factory is None:
+        protocol_factory = spec.protocol_factory()
+    if initializer is None:
+        initializer = spec.build_initializer()
+    if sampler_factory is None and batched_sampler is None:
+        sampler_factory, batched_sampler = spec.samplers()
+        if spec.engine == "batched" and batched_sampler is None:
+            raise ValueError(
+                f"sampler {spec.sampler!r} has no batched observation model; "
+                "this condition can only run on the sequential engine"
+            )
+    # The declared population shape (n, num_sources, correct_opinion) is
+    # built natively by both engine paths — population_factory stays an
+    # override-only escape hatch for crafted layouts.
+    max_rounds = spec.resolved_max_rounds()
+
     probe: Protocol | None = None
-    use_batched = engine == "batched"
-    if engine == "auto" and (sampler_factory is None or batched_sampler is not None):
+    use_batched = spec.engine == "batched"
+    if spec.engine == "auto" and (sampler_factory is None or batched_sampler is not None):
         probe = protocol_factory()
         use_batched = probe.batch_vectorized
-    if trials == 0:
+    if spec.trials == 0:
         # Degrade gracefully: an empty aggregate with no division warnings
         # (success_rate and the time summary report NaN, times stays empty)
         # rather than an error — sweep grids may legitimately zip in empty
@@ -143,7 +224,7 @@ def run_trials(
         return TrialStats(
             protocol_name=probe.name,
             initializer_name=initializer.name,
-            n=n,
+            n=spec.n,
             trials=0,
             max_rounds=max_rounds,
             successes=0,
@@ -153,18 +234,20 @@ def run_trials(
     if use_batched:
         return _run_trials_batched(
             probe if probe is not None else protocol_factory(),
-            n,
+            spec.n,
             initializer,
-            trials=trials,
+            trials=spec.trials,
             max_rounds=max_rounds,
-            seed=seed,
-            correct_opinion=correct_opinion,
+            seed=spec.seed,
+            correct_opinion=spec.correct_opinion,
+            num_sources=spec.num_sources,
             batched_sampler=batched_sampler,
             population_factory=population_factory,
-            stability_rounds=stability_rounds,
+            stability_rounds=spec.stability_rounds,
+            linger_rounds=spec.linger_rounds,
             keep_results=keep_results,
         )
-    rngs = spawn_rngs(seed, trials)
+    rngs = spawn_rngs(spec.seed, spec.trials)
     times: list[int] = []
     successes = 0
     results: list[RunResult] = []
@@ -174,7 +257,9 @@ def run_trials(
         protocol = protocol_factory()
         protocol_name = protocol.name
         population = (
-            population_factory() if population_factory is not None else make_population(n, correct_opinion)
+            population_factory()
+            if population_factory is not None
+            else make_population(spec.n, spec.correct_opinion, num_sources=spec.num_sources)
         )
         state = protocol.init_state(population.n, rng)
         initializer(population, protocol, state, rng)
@@ -185,7 +270,7 @@ def run_trials(
             rng=rng,
             state=state,
         )
-        result = trial_engine.run(max_rounds, stability_rounds=stability_rounds)
+        result = trial_engine.run(max_rounds, stability_rounds=spec.stability_rounds)
         if result.converged:
             successes += 1
             times.append(result.rounds)
@@ -194,8 +279,8 @@ def run_trials(
     return TrialStats(
         protocol_name=protocol_name,
         initializer_name=init_name,
-        n=n,
-        trials=trials,
+        n=spec.n,
+        trials=spec.trials,
         max_rounds=max_rounds,
         successes=successes,
         times=np.asarray(times, dtype=float),
@@ -212,28 +297,29 @@ def prepare_batch(
     trials: int,
     seed: int,
     correct_opinion: int = 1,
+    num_sources: int = 1,
     population_factory: Callable[[], PopulationState] | None = None,
 ) -> tuple[BatchedPopulation, ProtocolState, np.random.Generator]:
     """Build the initialized ``(R, n)`` batch for ``trials`` trials of a run.
 
-    The shared front half of every batched workload (``run_trials``, the
+    The shared front half of every batched workload (``execute_run``, the
     trace-based θ sweep measure, the batched transition experiment): returns
     the initialized batch, its stacked protocol states, and the generator for
     the lock-step dynamics stream.
 
-    With a batch-capable initializer and the default population layout, the
-    whole initial batch is built with vectorized draws (one stream for
-    initialization, one for the lock-step dynamics). Otherwise initial
-    configurations are built per trial on the same spawned streams the
-    sequential path uses, so the initial-condition distribution matches it
-    bitwise. One protocol instance serves the whole batch — valid because
-    protocol instances hold round configuration only, with all per-agent
-    state in the state dict (the :class:`~repro.core.protocol.Protocol`
-    contract).
+    With a batch-capable initializer and a declarative population layout
+    (``num_sources`` sources at the canonical indices), the whole initial
+    batch is built with vectorized draws (one stream for initialization,
+    one for the lock-step dynamics). Otherwise initial configurations are
+    built per trial on the same spawned streams the sequential path uses,
+    so the initial-condition distribution matches it bitwise. One protocol
+    instance serves the whole batch — valid because protocol instances hold
+    round configuration only, with all per-agent state in the state dict
+    (the :class:`~repro.core.protocol.Protocol` contract).
     """
     if initializer.supports_batch and population_factory is None:
         init_rng, batch_rng = spawn_rngs(seed, 2)
-        template = make_population(n, correct_opinion)
+        template = make_population(n, correct_opinion, num_sources=num_sources)
         batch = BatchedPopulation.from_population(template, trials)
         batch_states = protocol.init_state_batch(trials, n, init_rng)
         initializer.apply_batch(batch, protocol, batch_states, init_rng)
@@ -248,7 +334,7 @@ def prepare_batch(
                 population = population_factory()
             else:
                 if template is None:
-                    template = make_population(n, correct_opinion)
+                    template = make_population(n, correct_opinion, num_sources=num_sources)
                 population = template.copy()
             state = protocol.init_state(population.n, rng)
             initializer(population, protocol, state, rng)
@@ -257,6 +343,47 @@ def prepare_batch(
         batch = BatchedPopulation.from_populations(populations)
         batch_states = stack_states(states)
     return batch, batch_states, batch_rng
+
+
+def make_batched_engine(
+    spec: RunSpec,
+    *,
+    protocol: Protocol | None = None,
+    initializer: Initializer | None = None,
+    batched_sampler: BatchedSampler | None = None,
+    population_factory: Callable[[], PopulationState] | None = None,
+) -> BatchedEngine:
+    """A fully prepared lock-step engine for ``spec`` — the core behind
+    :meth:`RunSpec.batched_engine`.
+
+    Resolves the protocol, initializer, batched observation model, and
+    population layout from the spec (live-object keywords override), builds
+    the initialized batch on the spec's seed, and returns the engine ready
+    to ``run``. Raises when the spec's observation component has no batched
+    side (e.g. the literal index sampler).
+    """
+    if protocol is None:
+        protocol = spec.build_protocol()
+    if initializer is None:
+        initializer = spec.build_initializer()
+    if batched_sampler is None:
+        batched_sampler = spec.samplers()[1]
+        if batched_sampler is None:
+            raise ValueError(
+                f"sampler {spec.sampler!r} has no batched observation model; "
+                "this condition can only run on the sequential engine"
+            )
+    batch, states, rng = prepare_batch(
+        protocol,
+        spec.n,
+        initializer,
+        trials=spec.trials,
+        seed=spec.seed,
+        correct_opinion=spec.correct_opinion,
+        num_sources=spec.num_sources,
+        population_factory=population_factory,
+    )
+    return BatchedEngine(protocol, batch, sampler=batched_sampler, rng=rng, states=states)
 
 
 def _run_trials_batched(
@@ -268,9 +395,11 @@ def _run_trials_batched(
     max_rounds: int,
     seed: int,
     correct_opinion: int,
+    num_sources: int,
     batched_sampler: BatchedSampler | None,
     population_factory: Callable[[], PopulationState] | None,
     stability_rounds: int,
+    linger_rounds: int,
     keep_results: bool,
 ) -> TrialStats:
     """All trials as one ``(R, n)`` system on the batched engine.
@@ -287,6 +416,7 @@ def _run_trials_batched(
         trials=trials,
         seed=seed,
         correct_opinion=correct_opinion,
+        num_sources=num_sources,
         population_factory=population_factory,
     )
     engine = BatchedEngine(
@@ -297,7 +427,12 @@ def _run_trials_batched(
         states=batch_states,
     )
     recorder = FullTrace() if keep_results else None
-    result = engine.run(max_rounds, stability_rounds=stability_rounds, recorder=recorder)
+    result = engine.run(
+        max_rounds,
+        stability_rounds=stability_rounds,
+        recorder=recorder,
+        linger_rounds=linger_rounds,
+    )
     results = recorder.trace().to_run_results(result) if recorder is not None else []
     return TrialStats(
         protocol_name=protocol.name,

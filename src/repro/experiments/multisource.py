@@ -6,18 +6,27 @@ conjectures larger source regimes are "also manageable". This experiment
 sweeps the number of agreeing sources from 1 to a constant fraction of n
 and measures FET's convergence — more sources can only help (each pins more
 probability mass on the correct side), and the sweep quantifies by how much.
+
+The driver runs on the sweep orchestrator (:mod:`repro.sweep`) through the
+first-class ``num_sources`` axis: one declarative grid replaces the old
+hand-rolled loop, so the source counts fan out over ``jobs`` worker
+processes, persist/resume through a results ``store``, and draw properly
+independent per-cell seeds (derived from the cell's content hash, retiring
+the ad-hoc ``seed + index`` scheme). The whole ``source_counts`` list is
+validated *before* any cell runs — an invalid count can no longer surface
+mid-sweep after earlier cells burned compute.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
-import numpy as np
-
-from ..core.population import make_population
 from ..initializers.standard import AllWrong, Initializer
-from ..protocols.fet import FETProtocol
-from .harness import TrialStats, run_trials
+from ..sweep.orchestrator import run_sweep
+from ..sweep.spec import SweepSpec
+from ..sweep.store import ResultsStore
+from .harness import TrialStats
 
 __all__ = ["SourceRow", "sweep_sources"]
 
@@ -37,21 +46,34 @@ def sweep_sources(
     max_rounds: int,
     seed: int,
     initializer: Initializer | None = None,
+    jobs: int = 1,
+    store: ResultsStore | str | Path | None = None,
 ) -> list[SourceRow]:
-    """Measure FET convergence for each number of agreeing sources."""
-    initializer = initializer if initializer is not None else AllWrong()
-    rows: list[SourceRow] = []
-    for index, k in enumerate(source_counts):
+    """Measure FET convergence for each number of agreeing sources.
+
+    Each source count is one cell of a ``num_sources``-axis grid; ``jobs``
+    fans the cells out over worker processes and ``store`` makes the sweep
+    resumable (see :func:`repro.sweep.run_sweep`).
+    """
+    counts = [int(k) for k in source_counts]
+    for k in counts:
         if not 1 <= k < n:
             raise ValueError(f"source count must be in [1, n), got {k}")
-        stats = run_trials(
-            lambda: FETProtocol(ell),
-            n,
-            initializer,
-            trials=trials,
-            max_rounds=max_rounds,
-            seed=seed + index,
-            population_factory=lambda k=k: make_population(n, 1, num_sources=k),
-        )
-        rows.append(SourceRow(num_sources=k, stats=stats))
-    return rows
+    initializer = initializer if initializer is not None else AllWrong()
+    spec = SweepSpec(
+        name="multisource",
+        seed=seed,
+        trials=trials,
+        axes={
+            "protocol": [{"name": "fet", "ell": int(ell)}],
+            "n": [n],
+            "initializer": [initializer.spec()],
+            "num_sources": counts,
+        },
+        max_rounds=max_rounds,
+    )
+    outcome = run_sweep(spec, jobs=jobs, store=store)
+    return [
+        SourceRow(num_sources=cell.num_sources, stats=result.stats())
+        for cell, result in zip(outcome.cells, outcome.results)
+    ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.domains import Domain, DomainPartition
-from ..core.batch import BatchedEngine
+from ..config import RunSpec
 from ..core.engine import SynchronousEngine
 from ..core.population import make_population
 from ..core.protocol import Protocol
@@ -28,7 +28,7 @@ from ..core.records import RunResult
 from ..core.rng import as_rng
 from ..initializers.standard import Initializer
 from ..trace import FullTrace
-from .harness import prepare_batch
+from .harness import make_batched_engine
 
 __all__ = ["AnnotatedRun", "run_annotated", "run_annotated_batch"]
 
@@ -96,16 +96,17 @@ def run_annotated_batch(
     per-replica trajectory is trimmed to the rounds that replica executed and
     classified exactly as :func:`run_annotated` classifies a sequential one.
     """
-    batch, states, rng = prepare_batch(
-        protocol,
-        n,
-        initializer,
+    spec = RunSpec(
+        protocol=None,  # live instance supplied below
+        n=n,
         trials=replicas,
+        max_rounds=max_rounds,
         seed=seed,
         correct_opinion=correct_opinion,
+        stability_rounds=stability_rounds,
     )
     recorder = FullTrace()
-    engine = BatchedEngine(protocol, batch, rng=rng, states=states)
+    engine = make_batched_engine(spec, protocol=protocol, initializer=initializer)
     outcome = engine.run(max_rounds, stability_rounds=stability_rounds, recorder=recorder)
     partition = DomainPartition(n=n, delta=delta)
     return [

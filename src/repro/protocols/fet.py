@@ -119,15 +119,37 @@ class FETProtocol(Protocol):
         sampler: BatchedSampler,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """All replicas at once: the scalar rule broadcast over ``(A, n)``."""
+        """All replicas at once: the scalar rule broadcast over ``(A, n)``.
+
+        The three-way rule (greater → 1, smaller → 0, tie → keep) is fused
+        into a single comparison: doubling both counters makes room to fold
+        the current opinion bit into the left side, and
+        ``2·count′ + opinion > 2·prev`` resolves to ``count′ > prev`` off a
+        tie and to ``opinion`` on one. One comparison pass over scratch
+        buffers (both count matrices are dead after this round) replaces
+        the equality/greater/select triple — each of which read two full
+        ``(A, n)`` operands — and the bool result reinterprets as ``uint8``
+        for free.
+        """
         blocks = sampler.count_blocks(batch, self.ell, 2, rng)
         count_prime = blocks[0]
         prev = states["prev_count"]
-        # Tie → keep, otherwise follow the trend; phrased as two comparisons
-        # and one select to minimize full-matrix passes on the hot path.
-        new = np.where(count_prime == prev, batch.opinions, count_prime > prev)
+        if np.shares_memory(prev, blocks):
+            # A buffer-reusing sampler handed back the tensor that still
+            # backs last round's carried count: leave it untouched and
+            # build the doubled operands out of place.
+            lhs = count_prime + count_prime
+            prev2 = prev + prev
+        else:
+            # count_blocks returns freshly-allocated counts (the
+            # BatchedSampler contract), and the carried count dies this
+            # round — both are scratch, so the doubling runs in place.
+            lhs = np.add(count_prime, count_prime, out=count_prime)
+            prev2 = np.add(prev, prev, out=prev)
+        np.add(lhs, batch.opinions, out=lhs, casting="unsafe")
+        new = lhs > prev2
         states["prev_count"] = blocks[1]
-        return new.astype(np.uint8, copy=False)
+        return new.view(np.uint8)
 
     # ----------------------------------------------------------- accounting
 

@@ -6,9 +6,12 @@ PR-1 batched engine made one cell fast, this package makes a *grid* of
 cells fast and repeatable:
 
 * :mod:`~repro.sweep.spec` — declarative :class:`SweepSpec`/:class:`Cell`
-  grids (cross-product and zipped axes) with deterministically derived
-  per-cell seeds;
-* :mod:`~repro.sweep.registry` — name → protocol/initializer builders, so
+  grids (cross-product and zipped axes; spec v2 grids any
+  :class:`~repro.config.RunSpec` field plus dotted component parameters
+  like ``protocol.ell``) with deterministically derived per-cell seeds — a
+  cell *is* a :class:`~repro.config.RunSpec` carrying its derived seed;
+* :mod:`~repro.sweep.registry` — name → protocol/initializer/sampler
+  builders (samplers as paired scalar+batched observation models), so
   cells are JSON-able and picklable;
 * :mod:`~repro.sweep.runner` — :func:`execute_cell`, the pure worker
   function, plus the measure registry (consensus, trace-backed
@@ -48,9 +51,12 @@ from .orchestrator import SweepResult, run_sweep
 from .registry import (
     build_initializer,
     build_protocol,
+    build_samplers,
+    component_catalog,
     initializer_names,
     protocol_factory,
     protocol_names,
+    sampler_names,
     validate_cell,
 )
 from .runner import (
@@ -60,21 +66,34 @@ from .runner import (
     measure_kinds,
     register_measure,
 )
-from .spec import AXES, Cell, SweepSpec, derive_cell_seed, fet_demo_spec, load_spec
+from .spec import (
+    AXES,
+    EXTENDED_AXES,
+    SPEC_VERSION,
+    Cell,
+    SweepSpec,
+    derive_cell_seed,
+    fet_demo_spec,
+    load_spec,
+)
 from .store import ResultsStore
 
 __all__ = [
     "AXES",
     "Cell",
     "CellResult",
+    "EXTENDED_AXES",
     "ProcessPoolDispatcher",
     "RESULT_COLUMNS",
     "ResultsStore",
+    "SPEC_VERSION",
     "SerialDispatcher",
     "SweepResult",
     "SweepSpec",
     "build_initializer",
     "build_protocol",
+    "build_samplers",
+    "component_catalog",
     "derive_cell_seed",
     "execute_cell",
     "fet_demo_spec",
@@ -86,5 +105,6 @@ __all__ = [
     "protocol_names",
     "register_measure",
     "run_sweep",
+    "sampler_names",
     "validate_cell",
 ]

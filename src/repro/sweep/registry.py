@@ -1,12 +1,20 @@
-"""Name → object registries for declarative sweep cells.
+"""Name → object registries for declarative run/sweep components.
 
-Sweep cells describe protocols and initializers as ``{"name": ..., params}``
-dicts (JSON-able, picklable, hashable into store keys); this module turns
-those descriptions back into live objects inside whichever process runs the
-cell. The registries cover every protocol and initializer shipped by the
-library except :class:`~repro.initializers.adversarial.FrozenUnanimity`,
-which requires the majority-variant population that sweep cells (built on
-``make_population``) do not model.
+Run specs and sweep cells describe their components as ``{"name": ...,
+params}`` dicts (JSON-able, picklable, hashable into store keys); this
+module turns those descriptions back into live objects inside whichever
+process runs the cell. Three component kinds are registered:
+
+* **protocols** — every protocol shipped by the library;
+* **initializers** — every initializer except
+  :class:`~repro.initializers.adversarial.FrozenUnanimity`, which requires
+  the majority-variant population that run specs (built on
+  ``make_population``) do not model;
+* **samplers** — observation models, registered as *paired* scalar and
+  batched builders (:func:`build_samplers`), so declaring a sampler always
+  yields the matching batched observation model alongside the scalar one
+  (entries without a batched counterpart, like the literal index sampler,
+  pair with ``None`` and force the sequential engine).
 
 Sample-size parameters: protocols taking ℓ accept an explicit ``ell`` or
 derive the paper's ``ℓ = ⌈c·ln n⌉`` from the cell's population size, with
@@ -17,7 +25,15 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..core.noise import BatchedNoisyCountSampler, NoisyCountSampler
 from ..core.protocol import Protocol
+from ..core.sampling import (
+    BatchedBinomialSampler,
+    BatchedSampler,
+    BinomialCountSampler,
+    IndexSampler,
+    Sampler,
+)
 from ..initializers.adversarial import PoisonedCounters, TwoRoundTarget, ZeroSpeedCenter
 from ..initializers.standard import (
     AllCorrect,
@@ -44,9 +60,12 @@ from ..protocols import (
 __all__ = [
     "build_initializer",
     "build_protocol",
+    "build_samplers",
+    "component_catalog",
     "initializer_names",
     "protocol_factory",
     "protocol_names",
+    "sampler_names",
     "validate_cell",
 ]
 
@@ -102,12 +121,70 @@ _INITIALIZERS: dict[str, tuple[Callable[[dict], Initializer], set[str]]] = {
 }
 
 
+def _method_param(params: dict) -> str:
+    return str(params.get("method", "auto"))
+
+
+def _epsilon_param(params: dict) -> float:
+    if "epsilon" not in params:
+        raise ValueError("the 'noisy' sampler needs an 'epsilon' parameter")
+    return float(params["epsilon"])
+
+
+#: name -> (scalar builder(params) -> Sampler,
+#:          batched builder(params) -> BatchedSampler | None when the model
+#:          has no batched counterpart (forces the sequential engine),
+#:          allowed parameter names)
+_SAMPLERS: dict[
+    str,
+    tuple[
+        Callable[[dict], Sampler],
+        Callable[[dict], BatchedSampler] | None,
+        set[str],
+    ],
+] = {
+    "binomial": (
+        lambda p: BinomialCountSampler(),
+        lambda p: BatchedBinomialSampler(_method_param(p)),
+        {"method"},
+    ),
+    "noisy": (
+        lambda p: NoisyCountSampler(_epsilon_param(p)),
+        lambda p: BatchedNoisyCountSampler(_epsilon_param(p), _method_param(p)),
+        {"epsilon", "method"},
+    ),
+    "index": (
+        lambda p: IndexSampler(exclude_self=bool(p.get("exclude_self", False))),
+        None,
+        {"exclude_self"},
+    ),
+}
+
+
 def protocol_names() -> list[str]:
     return sorted(_PROTOCOLS)
 
 
 def initializer_names() -> list[str]:
     return sorted(_INITIALIZERS)
+
+
+def sampler_names() -> list[str]:
+    return sorted(_SAMPLERS)
+
+
+def component_catalog() -> dict[str, dict[str, list[str]]]:
+    """Kind → name → accepted parameter names, straight from the registries.
+
+    The single source the documentation surfaces (``repro sweep --list``)
+    render from — so the printed catalog can never drift from what the
+    builders actually accept.
+    """
+    return {
+        "protocol": {name: sorted(entry[1]) for name, entry in sorted(_PROTOCOLS.items())},
+        "initializer": {name: sorted(entry[1]) for name, entry in sorted(_INITIALIZERS.items())},
+        "sampler": {name: sorted(entry[2]) for name, entry in sorted(_SAMPLERS.items())},
+    }
 
 
 def build_protocol(spec: dict, n: int) -> Protocol:
@@ -140,16 +217,55 @@ def build_initializer(spec: dict) -> Initializer:
     return builder(_params(spec, "initializer", allowed))
 
 
+def build_samplers(
+    spec: dict,
+) -> tuple[Callable[[], Sampler], BatchedSampler | None]:
+    """The paired (scalar factory, batched sampler) for an observation spec.
+
+    One registry entry produces *both* sides of the observation model, so a
+    declared sampler can never reach the batched engine unpaired — the old
+    ``sampler_factory``-without-``batched_sampler`` footgun has no
+    declarative equivalent. Entries without a batched counterpart return
+    ``None`` on the batched side; engine resolution treats that as
+    "sequential only".
+    """
+    name = spec.get("name")
+    if name not in _SAMPLERS:
+        raise ValueError(f"unknown sampler {name!r}; known samplers: {sampler_names()}")
+    scalar_builder, batched_builder, allowed = _SAMPLERS[name]
+    params = _params(spec, "sampler", allowed)
+    scalar_builder(params)  # surface parameter errors immediately
+    batched = batched_builder(params) if batched_builder is not None else None
+    return (lambda: scalar_builder(params)), batched
+
+
 def validate_cell(cell) -> None:
     """Fail fast on a cell whose components cannot be built.
 
     Called by the orchestrator on every cell before any worker is spawned,
-    so a typo'd protocol or initializer name raises one clear ValueError in
-    the orchestrating process instead of an opaque exception from inside a
-    pool worker after part of the grid has already run.
+    so a typo'd protocol, initializer, or sampler name raises one clear
+    ValueError in the orchestrating process instead of an opaque exception
+    from inside a pool worker after part of the grid has already run.
     """
     try:
         build_protocol(cell.protocol, cell.n)
         build_initializer(cell.initializer)
+        if cell.sampler is not None:
+            _, batched = build_samplers(cell.sampler)
+            if batched is None:
+                # A sequential-only observation model is fine per se, but
+                # not with anything that requires the batched engine —
+                # surface the conflict here, not from inside a worker.
+                if cell.engine == "batched":
+                    raise ValueError(
+                        f"sampler {cell.sampler['name']!r} has no batched "
+                        "observation model; use engine='auto' or 'sequential'"
+                    )
+                if cell.measure.get("kind") == "trace":
+                    raise ValueError(
+                        "the trace measure runs on the batched engine, but "
+                        f"sampler {cell.sampler['name']!r} has no batched "
+                        "observation model"
+                    )
     except (ValueError, KeyError, TypeError) as error:
         raise ValueError(f"invalid sweep cell [{cell.label()}]: {error}") from error

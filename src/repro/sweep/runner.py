@@ -14,11 +14,12 @@ trace-derived measures plug in without touching the spec or orchestrator.
 Three kinds ship built in (``cell.measure["kind"]``):
 
 ``consensus``
-    Full convergence aggregates via
-    :func:`~repro.experiments.harness.run_trials` — the measurement behind
-    the scaling/comparison tables. Noise cells pair
-    :class:`~repro.core.noise.NoisyCountSampler` with its batched
-    counterpart so the fast path is preserved.
+    Full convergence aggregates via :meth:`~repro.config.RunSpec.execute`
+    (a sweep cell *is* a run spec) — the measurement behind the
+    scaling/comparison tables. Observation models are resolved by the
+    spec itself: noise cells get the paired noisy samplers, declarative
+    ``sampler`` components their registry pair, so the fast path is
+    preserved without any hand pairing.
 ``theta``
     θ-convergence plus settle level — the robustness measurement of
     :mod:`repro.experiments.robustness`. On the batched engines the settle
@@ -41,10 +42,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from ..core.batch import BatchedEngine
 from ..core.engine import SynchronousEngine
-from ..core.noise import BatchedNoisyCountSampler, NoisyCountSampler
-from ..core.population import make_population
 from ..core.rng import spawn_rngs
 from ..stats.summary import TimesSummary, describe_times
 from ..trace import (
@@ -226,8 +224,10 @@ def execute_cell(cell: Cell) -> CellResult:
 
 
 def _use_batched(cell: Cell, protocol) -> bool:
-    """Engine resolution shared by the trace-backed measures."""
-    return cell.engine == "batched" or (cell.engine == "auto" and protocol.batch_vectorized)
+    """Engine resolution shared by the trace-backed measures (the cell's
+    own policy: auto requires both a vectorized protocol step and a batched
+    observation model)."""
+    return cell.use_batched(protocol)
 
 
 def _base_payload(kind: str, protocol_name: str, initializer, engine: str) -> dict:
@@ -244,21 +244,9 @@ def _base_payload(kind: str, protocol_name: str, initializer, engine: str) -> di
 
 
 def _measure_consensus(cell: Cell, factory, initializer) -> dict:
-    from ..experiments.harness import run_trials
-
-    noisy = cell.noise > 0.0
-    stats = run_trials(
-        factory,
-        cell.n,
-        initializer,
-        trials=cell.trials,
-        max_rounds=cell.max_rounds,
-        seed=cell.seed,
-        sampler_factory=(lambda: NoisyCountSampler(cell.noise)) if noisy else None,
-        batched_sampler=BatchedNoisyCountSampler(cell.noise) if noisy else None,
-        stability_rounds=cell.stability_rounds,
-        engine=cell.engine,
-    )
+    # The cell IS a RunSpec: its executor resolves the paired observation
+    # model (noise/sampler), population shape, and engine policy itself.
+    stats = cell.execute(protocol_factory=factory, initializer=initializer)
     return {
         "measure": "consensus",
         "protocol": stats.protocol_name,
@@ -301,19 +289,8 @@ def _measure_theta(cell: Cell, factory, initializer) -> dict:
     base.update({"reached": 0, "settle_levels": [], "theta": theta, "settle_window": settle_window})
     if cell.trials == 0:
         return base
-    from ..experiments.harness import prepare_batch
-
-    batch, states, rng = prepare_batch(
-        protocol, cell.n, initializer, trials=cell.trials, seed=cell.seed
-    )
     recorder = FullTrace()
-    engine = BatchedEngine(
-        protocol,
-        batch,
-        sampler=BatchedNoisyCountSampler(cell.noise),
-        rng=rng,
-        states=states,
-    )
+    engine = cell.batched_engine(protocol=protocol, initializer=initializer)
     result = engine.run(
         cell.max_rounds,
         stability_rounds=cell.stability_rounds,
@@ -347,20 +324,23 @@ def _measure_theta_sequential(
     The settle window keeps stepping an engine after its stop condition
     fired — the original semantics the batched linger path reproduces.
     """
+    from ..core.population import make_population
+
     protocol_name = ""
     times: list[int] = []
     settle_levels: list[float] = []
     reached = 0
+    scalar_factory = cell.samplers()[0]
     for rng in spawn_rngs(cell.seed, cell.trials):
         protocol = factory()
         protocol_name = protocol.name
-        population = make_population(cell.n, 1)
+        population = make_population(cell.n, cell.correct_opinion, num_sources=cell.num_sources)
         state = protocol.init_state(cell.n, rng)
         initializer(population, protocol, state, rng)
         engine = SynchronousEngine(
             protocol,
             population,
-            sampler=NoisyCountSampler(cell.noise),
+            sampler=scalar_factory() if scalar_factory is not None else None,
             rng=rng,
             state=state,
         )
@@ -433,21 +413,13 @@ def _measure_trace(cell: Cell, factory, initializer) -> dict:
     base.update({"successes": 0, "settle_rounds": [], "recorded_columns": 0})
     if cell.trials == 0:
         return base
-    from ..experiments.harness import prepare_batch
-
-    batch, states, rng = prepare_batch(
-        protocol, cell.n, initializer, trials=cell.trials, seed=cell.seed
-    )
     recorder = make_recorder(ring=ring, stride=stride, record_flips=flips)
-    engine = BatchedEngine(
-        protocol,
-        batch,
-        sampler=BatchedNoisyCountSampler(cell.noise),
-        rng=rng,
-        states=states,
-    )
+    engine = cell.batched_engine(protocol=protocol, initializer=initializer)
     result = engine.run(
-        cell.max_rounds, stability_rounds=cell.stability_rounds, recorder=recorder
+        cell.max_rounds,
+        stability_rounds=cell.stability_rounds,
+        recorder=recorder,
+        linger_rounds=cell.linger_rounds,
     )
     trace = recorder.trace()
     settle = settle_rounds(trace.x, trace.rounds, tolerance=tolerance)

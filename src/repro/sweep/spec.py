@@ -1,41 +1,60 @@
 """Declarative sweep grids: axes, cells, and deterministic per-cell seeds.
 
-A :class:`SweepSpec` names the axes of an experiment grid — ``protocol``,
-``n``, ``noise``, ``initializer`` — by *value lists* rather than by Python
-objects, so a whole sweep round-trips through JSON: it can live in a file,
-be handed to ``repro sweep``, be hashed into a results-store key, and be
-shipped to a worker process. :meth:`SweepSpec.expand` turns the spec into a
-flat list of independent :class:`Cell` configurations:
+A :class:`SweepSpec` names the axes of an experiment grid by *value lists*
+rather than by Python objects, so a whole sweep round-trips through JSON:
+it can live in a file, be handed to ``repro sweep``, be hashed into a
+results-store key, and be shipped to a worker process.
+:meth:`SweepSpec.expand` turns the spec into a flat list of independent
+cells — and since the unified run-config API, a cell *is* a
+:class:`~repro.config.RunSpec` carrying its derived seed (``Cell`` is an
+alias), so every grid point is a complete, executable run description.
 
-* axes are **crossed** by default (full Cartesian product, in the canonical
-  axis order ``protocol × n × noise × initializer``);
-* axes listed together in ``zipped`` advance **in lock-step** instead
-  (their value lists must have equal length), e.g. zipping ``n`` with
-  ``initializer`` pairs the i-th population size with the i-th start.
+Three families of axes exist (spec **version 2**; version-1 files, which
+predate the extended families, load unchanged through :func:`load_spec`):
+
+* the **core four** — ``protocol``, ``n``, ``noise``, ``initializer`` —
+  crossed in that canonical order exactly as in version 1;
+* **extended field axes** (:data:`EXTENDED_AXES`) — any remaining
+  :class:`~repro.config.RunSpec` field: ``sampler``, ``num_sources``,
+  ``correct_opinion``, ``stability_rounds``, ``linger_rounds``,
+  ``trials``, ``max_rounds``, ``engine`` — crossed after the core four in
+  sorted-name order, so grids that only use the core four keep their exact
+  version-1 cell order, seeds, and keys;
+* **dotted parameter axes** — ``"protocol.ell"``, ``"protocol.band"``,
+  ``"initializer.p"``, ``"sampler.epsilon"``, ``"measure.theta"`` … —
+  each value is merged into the named component dict of the cell, so
+  one-spec-per-parameter-value sweeps collapse into a single grid.
+
+Axes are **crossed** by default (full Cartesian product in the canonical
+order); axes listed together in ``zipped`` advance **in lock-step**
+instead (their value lists must have equal length), e.g. zipping ``n``
+with ``initializer`` pairs the i-th population size with the i-th start.
 
 Every cell receives its own integer seed derived from the spec's base seed
 and a content hash of the cell's configuration (:func:`derive_cell_seed`).
-The derivation is a :class:`numpy.random.SeedSequence` over distinct entropy
-tuples, so cell streams are independent by construction, and — because the
-hash covers only the cell's own configuration — a cell keeps its seed (and
-therefore its exact results) when the surrounding grid is reordered, grown,
-or split across resumed runs.
+The derivation is a :class:`numpy.random.SeedSequence` over distinct
+entropy tuples, so cell streams are independent by construction, and —
+because the hash covers only the cell's own configuration — a cell keeps
+its seed (and therefore its exact results) when the surrounding grid is
+reordered, grown, or split across resumed runs. Cells whose extended
+fields sit at their defaults hash exactly as their version-1 form did.
 """
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
-import numpy as np
+from ..config import RUN_SCHEMA, RunSpec, canonical_json, derive_seed
 
 __all__ = [
     "AXES",
+    "EXTENDED_AXES",
+    "SPEC_VERSION",
     "Cell",
     "SweepSpec",
     "canonical_json",
@@ -44,37 +63,42 @@ __all__ = [
     "load_spec",
 ]
 
-#: Canonical axis order; cross-product expansion and cell ordering follow it.
+#: Canonical core axis order; cross-product expansion and cell ordering put
+#: these first, exactly as version-1 specs did.
 AXES = ("protocol", "n", "noise", "initializer")
 
-#: Bumped when the cell schema changes incompatibly, so stale store entries
-#: miss instead of deserializing into the wrong shape.
-CELL_SCHEMA = 1
+#: The remaining grid-able RunSpec fields (spec version 2); crossed after
+#: the core four, in sorted-name order.
+EXTENDED_AXES = (
+    "correct_opinion",
+    "engine",
+    "linger_rounds",
+    "max_rounds",
+    "num_sources",
+    "sampler",
+    "stability_rounds",
+    "trials",
+)
 
+#: Component dicts a dotted axis ("root.param") may merge parameters into.
+DOTTED_ROOTS = ("protocol", "initializer", "sampler", "measure")
 
-def canonical_json(obj: Any) -> str:
-    """Serialize to the canonical form used for hashing (sorted keys, no
-    whitespace) — byte-stable across processes and sessions."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+#: Current sweep-spec file version. Files without a ``version`` key are
+#: version 1 (core axes only) and load unchanged.
+SPEC_VERSION = 2
 
+#: Back-compat alias: the cell schema is the run-spec schema.
+CELL_SCHEMA = RUN_SCHEMA
 
-def derive_cell_seed(base_seed: int, spec_dict: dict) -> int:
-    """Deterministic integer seed for one cell of a sweep.
+#: A sweep cell is a complete run description plus its derived seed.
+Cell = RunSpec
 
-    The cell's canonical JSON is hashed and the digest words are spawned
-    through a :class:`~numpy.random.SeedSequence` together with the base
-    seed: distinct cell configurations (or distinct base seeds) give
-    independent streams, while the same cell under the same base seed gets
-    the same seed in every process, job count, and resumed run.
-    """
-    digest = hashlib.sha256(canonical_json(spec_dict).encode()).digest()
-    words = tuple(int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4))
-    sequence = np.random.SeedSequence((int(base_seed), *words))
-    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+#: Back-compat alias for the seed derivation (now in :mod:`repro.config`).
+derive_cell_seed = derive_seed
 
 
 def _normalize_component(value: Any, axis: str) -> dict:
-    """Coerce a protocol/initializer axis entry to ``{"name": ..., params}``."""
+    """Coerce a protocol/initializer/sampler axis entry to ``{"name": ...}``."""
     if isinstance(value, str):
         return {"name": value}
     if isinstance(value, dict):
@@ -84,93 +108,51 @@ def _normalize_component(value: Any, axis: str) -> dict:
     raise ValueError(f"{axis} axis entries must be names or dicts, got {value!r}")
 
 
-@dataclass(frozen=True)
-class Cell:
-    """One fully-resolved grid point: an independent unit of sweep work.
-
-    Cells are plain data (JSON-able fields only) so they pickle cleanly to
-    worker processes and hash stably into results-store keys. ``seed`` is
-    derived, not user-chosen — see :func:`derive_cell_seed`.
-    """
-
-    protocol: dict
-    n: int
-    noise: float
-    initializer: dict
-    trials: int
-    max_rounds: int
-    stability_rounds: int
-    engine: str
-    measure: dict
-    seed: int
-
-    def spec_dict(self) -> dict:
-        """The cell's configuration without the derived seed (hash input)."""
-        return {
-            "protocol": self.protocol,
-            "n": self.n,
-            "noise": self.noise,
-            "initializer": self.initializer,
-            "trials": self.trials,
-            "max_rounds": self.max_rounds,
-            "stability_rounds": self.stability_rounds,
-            "engine": self.engine,
-            "measure": self.measure,
-        }
-
-    def to_dict(self) -> dict:
-        out = self.spec_dict()
-        out["seed"] = self.seed
-        return out
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "Cell":
-        return cls(**data)
-
-    def key(self) -> str:
-        """Content hash of the cell spec + seed: the results-store key."""
-        payload = {"schema": CELL_SCHEMA, **self.to_dict()}
-        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
-
-    def label(self) -> str:
-        """Short human-readable cell tag for logs and errors."""
-        parts = [self.protocol["name"], f"n={self.n}"]
-        if self.noise:
-            parts.append(f"eps={self.noise}")
-        parts.append(self.initializer["name"])
-        return " ".join(parts)
+def _int_values(values: list, axis: str, minimum: int) -> list[int]:
+    out = [int(v) for v in values]
+    for v in out:
+        if v < minimum:
+            raise ValueError(f"{axis} axis values must be >= {minimum}, got {v}")
+    return out
 
 
 @dataclass
 class SweepSpec:
-    """Declarative experiment grid over protocol × n × noise × initializer.
+    """Declarative experiment grid over any :class:`RunSpec` field.
 
     Parameters
     ----------
     axes:
         Axis name → value list. ``protocol`` and ``n`` are required;
         ``noise`` defaults to ``[0.0]`` and ``initializer`` to all-wrong.
-        Scalars are auto-wrapped into single-value lists; protocol and
-        initializer entries may be bare names or ``{"name": ..., params}``
-        dicts (see ``sweep.registry`` for the known names and parameters).
+        Scalars are auto-wrapped into single-value lists; component entries
+        (protocol, initializer, sampler) may be bare names or ``{"name":
+        ..., params}`` dicts (see ``sweep.registry`` for the known names
+        and parameters). Beyond the core four, any name in
+        :data:`EXTENDED_AXES` grids the matching :class:`RunSpec` field,
+        and dotted names (``"protocol.ell"``) grid a single component
+        parameter — see the module docstring.
     zipped:
         Groups of axis names that advance in lock-step instead of being
         crossed; the lists of every axis in a group must have equal length.
     trials:
-        Trials per cell (0 allowed: cells degrade to empty aggregates).
+        Trials per cell (0 allowed: cells degrade to empty aggregates);
+        a ``trials`` axis overrides it per cell.
     max_rounds:
         Per-run round budget. ``None`` applies the poly-log rule
         ``max(min_rounds, int(max_rounds_factor · (ln n)^2.5))`` per cell —
-        the Theorem-1 scaling convention of the convergence sweeps.
+        the Theorem-1 scaling convention of the convergence sweeps. A
+        ``max_rounds`` axis overrides both per cell.
     measure:
         ``{"kind": "consensus"}`` (default; full convergence aggregates via
-        ``run_trials``), ``{"kind": "theta", "theta": ..,
+        the run-spec executor), ``{"kind": "theta", "theta": ..,
         "settle_window": ..}`` (θ-convergence + settle level, the
         robustness-sweep measurement — batched via trace recording unless
         the spec forces ``engine="sequential"``), or ``{"kind": "trace",
         "stride": .., "ring": .., "flips": ..}`` (convergence aggregates
         plus trace-derived trajectory statistics). Kinds live in the
-        runner's measure registry (``repro.sweep.register_measure``).
+        runner's measure registry (``repro.sweep.register_measure``);
+        ``measure.<param>`` axes grid a measure parameter.
     """
 
     axes: dict[str, list]
@@ -194,17 +176,27 @@ class SweepSpec:
             raise ValueError(f"stability_rounds must be >= 1, got {self.stability_rounds}")
         if self.engine not in ("auto", "batched", "sequential"):
             raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {self.engine!r}")
-        # Measure kinds and their parameter rules live in the runner's
-        # registry; the import is deferred to keep spec importable first
-        # (runner imports spec at module load).
-        from .runner import validate_measure
-
-        validate_measure(self.measure)
 
         axes = dict(self.axes)
-        unknown = set(axes) - set(AXES)
+        dotted = [axis for axis in axes if "." in axis]
+        for axis in dotted:
+            root, _, param = axis.partition(".")
+            if root not in DOTTED_ROOTS:
+                raise ValueError(
+                    f"dotted axis {axis!r} must target one of {DOTTED_ROOTS}, got root {root!r}"
+                )
+            if not param or "." in param:
+                raise ValueError(f"dotted axis {axis!r} must name exactly one parameter")
+            if root == "sampler" and "sampler" not in axes:
+                raise ValueError(
+                    f"dotted axis {axis!r} needs a 'sampler' axis to merge into"
+                )
+        unknown = set(axes) - set(AXES) - set(EXTENDED_AXES) - set(dotted)
         if unknown:
-            raise ValueError(f"unknown axes {sorted(unknown)}; known axes: {AXES}")
+            raise ValueError(
+                f"unknown axes {sorted(unknown)}; known axes: {AXES + EXTENDED_AXES} "
+                f"plus dotted parameters of {DOTTED_ROOTS}"
+            )
         for required in ("protocol", "n"):
             if required not in axes:
                 raise ValueError(f"axes must include {required!r}")
@@ -227,7 +219,38 @@ class SweepSpec:
         for eps in axes["noise"]:
             if not 0.0 <= eps <= 0.5:
                 raise ValueError(f"noise levels must be in [0, 1/2], got {eps}")
+        if "sampler" in axes:
+            axes["sampler"] = [_normalize_component(v, "sampler") for v in axes["sampler"]]
+        if "engine" in axes:
+            for value in axes["engine"]:
+                if value not in ("auto", "batched", "sequential"):
+                    raise ValueError(
+                        f"engine axis values must be 'auto', 'batched' or 'sequential', got {value!r}"
+                    )
+        if "correct_opinion" in axes:
+            for value in axes["correct_opinion"]:
+                if value not in (0, 1):
+                    raise ValueError(f"correct_opinion axis values must be 0 or 1, got {value!r}")
+        for axis, minimum in (
+            ("num_sources", 1),
+            ("stability_rounds", 1),
+            ("linger_rounds", 0),
+            ("trials", 0),
+            ("max_rounds", 1),
+        ):
+            if axis in axes:
+                axes[axis] = _int_values(axes[axis], axis, minimum)
         self.axes = axes
+        self._dotted = sorted(dotted)
+
+        # Measure validation happens in the runner's registry; the import is
+        # deferred to keep spec importable first (runner imports spec at
+        # module load). When measure parameters are gridded, each cell's
+        # merged measure dict is validated during expansion instead.
+        if not any(axis.startswith("measure.") for axis in self._dotted):
+            from .runner import validate_measure
+
+            validate_measure(self.measure)
 
         zipped = [list(group) for group in self.zipped]
         seen: set[str] = set()
@@ -247,16 +270,24 @@ class SweepSpec:
 
     # ------------------------------------------------------------- expansion
 
+    def _axis_order(self) -> list[str]:
+        """All axes in canonical order: the core four, then extended fields
+        and dotted parameters in sorted-name order (grids using only the
+        core four therefore keep their version-1 cell order)."""
+        extras = sorted(axis for axis in self.axes if axis not in AXES)
+        return [axis for axis in AXES if axis in self.axes] + extras
+
     def _groups(self) -> list[list[str]]:
         """Iteration groups in canonical order: zipped axes travel together."""
         groups: list[list[str]] = []
         emitted: set[str] = set()
-        for axis in AXES:
+        order = self._axis_order()
+        for axis in order:
             if axis in emitted:
                 continue
             group = next((g for g in self.zipped if axis in g), None)
             if group is not None:
-                ordered = [a for a in AXES if a in group]
+                ordered = [a for a in order if a in group]
                 groups.append(ordered)
                 emitted.update(ordered)
             else:
@@ -277,6 +308,10 @@ class SweepSpec:
         cells later get scheduled, which is what makes aggregate output
         reproducible across job counts.
         """
+        validate_merged_measure = any(axis.startswith("measure.") for axis in self._dotted)
+        if validate_merged_measure:
+            from .runner import validate_measure
+
         groups = self._groups()
         lengths = [len(self.axes[group[0]]) for group in groups]
         cells: list[Cell] = []
@@ -285,26 +320,42 @@ class SweepSpec:
             for group, index in zip(groups, combo):
                 for axis in group:
                     coords[axis] = self.axes[axis][index]
-            n = coords["n"]
-            spec_dict = {
+            components: dict[str, Any] = {
                 "protocol": coords["protocol"],
-                "n": n,
-                "noise": coords["noise"],
                 "initializer": coords["initializer"],
-                "trials": self.trials,
-                "max_rounds": self.resolve_max_rounds(n),
-                "stability_rounds": self.stability_rounds,
-                "engine": self.engine,
+                "sampler": coords.get("sampler"),
                 "measure": self.measure,
             }
-            seed = derive_cell_seed(self.seed, spec_dict)
-            cells.append(Cell(seed=seed, **spec_dict))
+            for axis in self._dotted:
+                root, _, param = axis.partition(".")
+                components[root] = {**components[root], param: coords[axis]}
+            if validate_merged_measure:
+                validate_measure(components["measure"])
+            n = coords["n"]
+            draft = RunSpec(
+                protocol=components["protocol"],
+                n=n,
+                noise=coords["noise"],
+                initializer=components["initializer"],
+                trials=coords.get("trials", self.trials),
+                max_rounds=coords.get("max_rounds", self.resolve_max_rounds(n)),
+                stability_rounds=coords.get("stability_rounds", self.stability_rounds),
+                engine=coords.get("engine", self.engine),
+                measure=components["measure"],
+                sampler=components["sampler"],
+                num_sources=coords.get("num_sources", 1),
+                correct_opinion=coords.get("correct_opinion", 1),
+                linger_rounds=coords.get("linger_rounds", 0),
+            )
+            seed = derive_cell_seed(self.seed, draft.spec_dict())
+            cells.append(replace(draft, seed=seed))
         return cells
 
     # --------------------------------------------------------- serialization
 
     def to_dict(self) -> dict:
         return {
+            "version": SPEC_VERSION,
             "name": self.name,
             "seed": self.seed,
             "trials": self.trials,
@@ -320,6 +371,20 @@ class SweepSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
+        """Build a spec from its dict form — versioned.
+
+        Files without a ``version`` key are version 1 and are held to the
+        version-1 contract (core axes only, same validation and expansion
+        as before the extended axes existed — their cells, seeds, and
+        aggregate output are byte-identical). ``version: 2`` enables the
+        extended and dotted axis families.
+        """
+        data = dict(data)
+        version = data.pop("version", 1)
+        if version not in (1, SPEC_VERSION):
+            raise ValueError(
+                f"unknown sweep spec version {version!r}; supported: 1, {SPEC_VERSION}"
+            )
         known = {
             "name",
             "seed",
@@ -339,11 +404,20 @@ class SweepSpec:
         for required in ("axes", "trials"):
             if required not in data:
                 raise ValueError(f"sweep spec needs a {required!r} key")
+        if version == 1:
+            beyond_v1 = set(data["axes"]) - set(AXES)
+            if beyond_v1:
+                raise ValueError(
+                    f"unknown axes {sorted(beyond_v1)} for a version-1 sweep spec; "
+                    f"known axes: {AXES} (declare \"version\": {SPEC_VERSION} to use "
+                    "extended or dotted axes)"
+                )
         return cls(**data)
 
 
 def load_spec(path: str | Path) -> SweepSpec:
-    """Load a :class:`SweepSpec` from a JSON file."""
+    """Load a :class:`SweepSpec` from a JSON file (versioned — see
+    :meth:`SweepSpec.from_dict`)."""
     with Path(path).open() as handle:
         return SweepSpec.from_dict(json.load(handle))
 

@@ -27,6 +27,7 @@ the stamp existed load unchanged.
 from __future__ import annotations
 
 import json
+import os
 import platform
 from datetime import datetime, timezone
 from pathlib import Path
@@ -55,6 +56,7 @@ class ResultsStore:
         self.path = Path(path)
         self._records: dict[str, dict] = {}
         self.corrupt_lines = 0
+        self._loaded_lines = 0
         self._needs_newline = False
         self._load()
 
@@ -75,6 +77,7 @@ class ResultsStore:
                     # valid prefix; the lost cell simply gets recomputed.
                     self.corrupt_lines += 1
                     continue
+                self._loaded_lines += 1
                 self._records[key] = record
             # A file killed mid-append can end without a newline; the next
             # append must open a fresh line or it would corrupt a record by
@@ -99,6 +102,7 @@ class ResultsStore:
         record["key"] = key
         record.setdefault("provenance", provenance_stamp())
         self._records[key] = record
+        self._loaded_lines += 1
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
             if self._needs_newline:
@@ -106,6 +110,58 @@ class ResultsStore:
                 self._needs_newline = False
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
+
+    def compact(self) -> dict:
+        """Rewrite the file keeping only the latest record per key.
+
+        Long-lived stores accumulate superseded lines (``--force`` reruns)
+        and the occasional torn tail from an interrupted append; compaction
+        rewrites the surviving in-memory view — exactly what :meth:`get`
+        already serves, last write winning — in insertion order, preserving
+        each record's original provenance stamp.
+
+        The replace is atomic and torn-tail-safe: records stream to a
+        ``<name>.compact.tmp`` sibling first (same filesystem, so the final
+        ``os.replace`` is a single atomic rename), the temporary file is
+        flushed and fsynced before the swap, and a failure midway leaves
+        the original store untouched. A reader therefore sees either the
+        old file or the complete compacted one, never a partial rewrite.
+        The file is re-read immediately before the rewrite so appends made
+        since this store object loaded are kept — but compaction is not
+        synchronized against a *concurrently appending* sweep (a line
+        landing between the re-read and the rename is lost from the file
+        and simply recomputed on the next resume); compact between runs,
+        not during one.
+
+        Returns a summary dict: ``lines_before`` (valid lines read,
+        i.e. including superseded duplicates), ``corrupt_lines`` dropped,
+        and ``records`` kept.
+        """
+        if self.path.exists():
+            # Pick up records other store handles appended after our load.
+            self._records = {}
+            self.corrupt_lines = 0
+            self._loaded_lines = 0
+            self._needs_newline = False
+            self._load()
+        summary = {
+            "lines_before": self._loaded_lines,
+            "corrupt_lines": self.corrupt_lines,
+            "records": len(self._records),
+        }
+        if not self.path.exists():
+            return summary
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        with tmp.open("w") as handle:
+            for record in self._records.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._loaded_lines = len(self._records)
+        self.corrupt_lines = 0
+        self._needs_newline = False
+        return summary
 
     def keys(self) -> list[str]:
         return list(self._records)

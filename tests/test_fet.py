@@ -180,3 +180,108 @@ class TestConvergence:
         for _ in range(100):
             record = engine.step()
             assert record.x_after == 1.0
+
+
+class TestFusedBatchStep:
+    """The single-comparison batched update (2·count′ + opinion > 2·prev)
+    must resolve the three-way rule exactly: greater → 1, smaller → 0,
+    tie → keep."""
+
+    def test_fused_step_batch_matches_three_way_rule(self):
+        from repro.core.batch import BatchedPopulation
+        from repro.core.sampling import BatchedSampler
+
+        ell, replicas, n = 9, 7, 40
+        rng = make_rng(77)
+        proto = FETProtocol(ell)
+        pop = make_population(n, 1)
+        batch = BatchedPopulation.from_population(pop, replicas)
+        opinions = (make_rng(1).random((replicas, n)) < 0.5).astype("uint8")
+        batch.adversarial_opinions(opinions)
+        prev = make_rng(2).integers(0, ell + 1, size=(replicas, n))
+        states = {"prev_count": prev.copy()}
+        blocks = make_rng(3).integers(0, ell + 1, size=(2, replicas, n))
+
+        class Scripted(BatchedSampler):
+            def counts(self, batch, ell, rng):  # pragma: no cover - unused
+                raise AssertionError
+
+            def count_blocks(self, batch, ell, blocks_count, rng):
+                assert blocks_count == 2
+                return blocks.copy()
+
+            def scalar(self):  # pragma: no cover - unused
+                raise AssertionError
+
+        expected = np.where(
+            blocks[0] == prev, batch.opinions, blocks[0] > prev
+        ).astype(np.uint8)
+        new = proto.step_batch(batch, states, Scripted(), rng)
+        assert new.dtype == np.uint8
+        assert np.array_equal(new, expected)
+        # the carried state is the second block, untouched by the fusion
+        assert np.array_equal(states["prev_count"], blocks[1])
+
+    def test_fused_step_batch_bitwise_matches_scalar_at_r1(self):
+        """R=1 batched step equals the scalar step on identical counts."""
+        from repro.core.batch import BatchedPopulation
+        from repro.core.sampling import BatchedSampler
+
+        ell, n = 6, 30
+        proto = FETProtocol(ell)
+        pop = make_population(n, 1)
+        start = (make_rng(4).random(n) < 0.5).astype("uint8")
+        pop.adversarial_opinions(start)
+        batch = BatchedPopulation.from_population(pop, 1)
+        counts = make_rng(5).integers(0, ell + 1, size=(2, n))
+        prev = make_rng(6).integers(0, ell + 1, size=n)
+
+        class ScriptedBatched(BatchedSampler):
+            def counts(self, batch, ell, rng):  # pragma: no cover - unused
+                raise AssertionError
+
+            def count_blocks(self, batch, ell, blocks_count, rng):
+                return counts[:, None, :].copy()
+
+            def scalar(self):  # pragma: no cover - unused
+                raise AssertionError
+
+        scalar_state = {"prev_count": prev.copy()}
+        batch_states = {"prev_count": prev.copy()[None, :]}
+        scripted = scripted_sampler(counts[0], counts[1])
+        scalar_new = proto.step(pop, scalar_state, scripted, make_rng(0))
+        batch_new = proto.step_batch(batch, batch_states, ScriptedBatched(), make_rng(0))
+        assert np.array_equal(batch_new[0], scalar_new)
+        assert np.array_equal(batch_states["prev_count"][0], scalar_state["prev_count"])
+
+    def test_fused_step_batch_leaves_aliasing_sampler_buffers_intact(self):
+        """A buffer-reusing sampler (returns the same tensor every call)
+        aliases this round's blocks with the carried previous count; the
+        fused update must detect the overlap and not corrupt the buffer."""
+        from repro.core.batch import BatchedPopulation
+        from repro.core.sampling import BatchedSampler
+
+        ell, replicas, n = 5, 3, 20
+        proto = FETProtocol(ell)
+        pop = make_population(n, 1)
+        batch = BatchedPopulation.from_population(pop, replicas)
+        cached = make_rng(8).integers(0, ell + 1, size=(2, replicas, n))
+        snapshot = cached.copy()
+
+        class Caching(BatchedSampler):
+            def counts(self, batch, ell, rng):  # pragma: no cover - unused
+                raise AssertionError
+
+            def count_blocks(self, batch, ell, blocks_count, rng):
+                return cached  # same buffer every round, never rewritten
+
+            def scalar(self):  # pragma: no cover - unused
+                raise AssertionError
+
+        states = {"prev_count": cached[1]}  # aliases the sampler's buffer
+        expected = np.where(
+            snapshot[0] == snapshot[1], batch.opinions, snapshot[0] > snapshot[1]
+        ).astype(np.uint8)
+        new = proto.step_batch(batch, states, Caching(), make_rng(0))
+        assert np.array_equal(new, expected)
+        assert np.array_equal(cached, snapshot)  # buffer not mutated
