@@ -77,7 +77,7 @@ from .protocols import (
 from .sweep import ResultsStore, SweepResult, SweepSpec, run_sweep
 from .trace import BatchTrace, FullTrace, RingBufferTrace, TraceRecorder
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchTrace",

@@ -37,6 +37,7 @@ from .protocols.majority_sampling import MajoritySamplingProtocol
 from .protocols.oracle_clock import OracleClockProtocol
 from .protocols.voter import VoterProtocol
 from .sweep import (
+    FaultPolicy,
     ResultsStore,
     component_catalog,
     fet_demo_spec,
@@ -114,6 +115,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--out", type=str, default=None, help="write the aggregate CSV here")
     sweep_cmd.add_argument(
         "--force", action="store_true", help="recompute cells even when the store has them"
+    )
+    sweep_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per cell after a worker exception, crash, or timeout (default 0)",
+    )
+    sweep_cmd.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; hung cells are abandoned and retried "
+        "(needs --jobs >= 2: the watchdog kills worker processes)",
+    )
+    sweep_cmd.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="record cells that exhaust their retries as failure records and "
+        "finish the grid instead of aborting (exit code 1 if any cell failed)",
+    )
+    sweep_cmd.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-run cells the store remembers as failures (successes stay cached)",
     )
     sweep_cmd.add_argument(
         "--compact",
@@ -320,8 +346,9 @@ def _cmd_sweep_compact(store_path: str | None) -> int:
     dropped = summary["lines_before"] - summary["records"]
     print(
         f"compacted {store_path}: kept {summary['records']} record(s), "
-        f"dropped {dropped} superseded line(s) and "
-        f"{summary['corrupt_lines']} corrupt line(s)"
+        f"dropped {dropped} superseded line(s), "
+        f"{summary['corrupt_lines']} corrupt line(s) and "
+        f"{summary['checksum_failures']} checksum failure(s)"
     )
     return 0
 
@@ -331,18 +358,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return _cmd_sweep_list()
     if args.compact:
         return _cmd_sweep_compact(args.store)
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}", file=sys.stderr)
+        return 2
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        print(f"error: --cell-timeout must be positive, got {args.cell_timeout}", file=sys.stderr)
+        return 2
+    policy = FaultPolicy(
+        max_retries=args.max_retries,
+        timeout=args.cell_timeout,
+        on_failure="record" if args.keep_going else "raise",
+    )
     spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
-    result = run_sweep(spec, jobs=args.jobs, store=args.store, force=args.force)
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        store=args.store,
+        force=args.force,
+        policy=policy,
+        retry_failed=args.retry_failed,
+    )
     print(f"sweep {spec.name!r}: {len(result.cells)} cells, jobs={args.jobs}")
     print(result.table())
     summary = f"\nexecuted {result.executed} cell(s), {result.cached} served from store"
     if args.store:
         summary += f" ({args.store})"
+    if result.failed:
+        summary += f"; {result.failed} cell(s) failed (see the error column)"
     print(summary)
     if args.out:
         path = result.write_csv(args.out)
         print(f"wrote {path}")
-    return 0
+    return 1 if result.failed else 0
 
 
 _COMMANDS = {

@@ -26,6 +26,7 @@ from ..config import default_round_budget
 from ..initializers.standard import AllWrong, Initializer
 from ..protocols.fet import DEFAULT_SAMPLE_CONSTANT, ell_for
 from ..stats.fitting import LogPowerFit, fit_log_power
+from ..sweep.dispatch import FaultPolicy
 from ..sweep.orchestrator import run_sweep
 from ..sweep.spec import SweepSpec
 from ..sweep.store import ResultsStore
@@ -145,6 +146,7 @@ def sweep_population_sizes(
     max_rounds_factor: float = 40.0,
     jobs: int = 1,
     store: ResultsStore | str | Path | None = None,
+    policy: FaultPolicy | None = None,
 ) -> list[ScalingRow]:
     """Measure FET convergence for each ``n`` with ``ℓ = ⌈c·ln n⌉``.
 
@@ -162,7 +164,7 @@ def sweep_population_sizes(
         initializer=initializer,
         max_rounds_factor=max_rounds_factor,
     )
-    return scaling_rows(run_sweep(spec, jobs=jobs, store=store), sample_constant)
+    return scaling_rows(run_sweep(spec, jobs=jobs, store=store, policy=policy), sample_constant)
 
 
 def sweep_sample_sizes(
@@ -175,12 +177,13 @@ def sweep_sample_sizes(
     max_rounds: int | None = None,
     jobs: int = 1,
     store: ResultsStore | str | Path | None = None,
+    policy: FaultPolicy | None = None,
 ) -> list[ScalingRow]:
     """Measure FET convergence at fixed ``n`` for each sample size ℓ."""
     spec = sample_size_spec(
         n, ells, trials=trials, seed=seed, initializer=initializer, max_rounds=max_rounds
     )
-    return scaling_rows(run_sweep(spec, jobs=jobs, store=store))
+    return scaling_rows(run_sweep(spec, jobs=jobs, store=store, policy=policy))
 
 
 def fit_scaling(rows: list[ScalingRow], statistic: str = "median") -> LogPowerFit:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..initializers.standard import AllWrong, Initializer
+from ..sweep.dispatch import FaultPolicy
 from ..sweep.orchestrator import run_sweep
 from ..sweep.spec import SweepSpec
 from ..sweep.store import ResultsStore
@@ -48,6 +49,7 @@ def sweep_sources(
     initializer: Initializer | None = None,
     jobs: int = 1,
     store: ResultsStore | str | Path | None = None,
+    policy: FaultPolicy | None = None,
 ) -> list[SourceRow]:
     """Measure FET convergence for each number of agreeing sources.
 
@@ -72,7 +74,7 @@ def sweep_sources(
         },
         max_rounds=max_rounds,
     )
-    outcome = run_sweep(spec, jobs=jobs, store=store)
+    outcome = run_sweep(spec, jobs=jobs, store=store, policy=policy)
     return [
         SourceRow(num_sources=cell.num_sources, stats=result.stats())
         for cell, result in zip(outcome.cells, outcome.results)

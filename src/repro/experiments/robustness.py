@@ -32,6 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from ..initializers.standard import AllWrong, Initializer
+from ..sweep.dispatch import FaultPolicy
 from ..sweep.orchestrator import run_sweep
 from ..sweep.spec import SweepSpec
 from ..sweep.store import ResultsStore
@@ -66,6 +67,7 @@ def sweep_noise(
     initializer: Initializer | None = None,
     jobs: int = 1,
     store: ResultsStore | str | Path | None = None,
+    policy: FaultPolicy | None = None,
     engine: str = "auto",
     protocols: list[dict | str] | None = None,
 ) -> list[NoiseRow]:
@@ -101,7 +103,7 @@ def sweep_noise(
         engine=engine,
         measure={"kind": "theta", "theta": theta, "settle_window": settle_window},
     )
-    outcome = run_sweep(spec, jobs=jobs, store=store)
+    outcome = run_sweep(spec, jobs=jobs, store=store, policy=policy)
     rows: list[NoiseRow] = []
     for cell, result in zip(outcome.cells, outcome.results):
         payload = result.payload

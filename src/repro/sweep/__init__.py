@@ -18,9 +18,16 @@ cells fast and repeatable:
   θ-convergence/settle, and trajectory-trace measures;
   :func:`register_measure` plugs in new kinds);
 * :mod:`~repro.sweep.dispatch` — serial and process-pool dispatchers with
-  ordered collection;
+  ordered collection and fault tolerance (:class:`FaultPolicy`: retries
+  with exponential backoff, a per-cell timeout watchdog, and crash
+  isolation — a worker segfault/OOM rebuilds the pool instead of aborting
+  the sweep);
+* :mod:`~repro.sweep.faults` — deterministic fault injection
+  (:class:`FaultPlan`/:class:`FaultInjector`: planned raises, hangs, and
+  worker kills per cell and attempt) proving the recovery paths end to end;
 * :mod:`~repro.sweep.store` — the append-only JSON-lines
-  :class:`ResultsStore` behind resume-after-interrupt and skip-if-cached;
+  :class:`ResultsStore` behind resume-after-interrupt and skip-if-cached,
+  with per-record checksums and an fsync durability knob;
 * :mod:`~repro.sweep.orchestrator` — :func:`run_sweep` tying it together,
   with CSV/table export through :mod:`repro.viz`.
 
@@ -46,7 +53,16 @@ Quickstart::
     print(result.table())
 """
 
-from .dispatch import ProcessPoolDispatcher, SerialDispatcher, make_dispatcher
+from .dispatch import (
+    BrokenWorkerError,
+    CellTimeoutError,
+    FailedItem,
+    FaultPolicy,
+    ProcessPoolDispatcher,
+    SerialDispatcher,
+    make_dispatcher,
+)
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan, InjectedFault
 from .orchestrator import SweepResult, run_sweep
 from .registry import (
     build_initializer,
@@ -60,6 +76,7 @@ from .registry import (
     validate_cell,
 )
 from .runner import (
+    ERROR_COLUMN,
     RESULT_COLUMNS,
     CellResult,
     execute_cell,
@@ -80,9 +97,18 @@ from .store import ResultsStore
 
 __all__ = [
     "AXES",
+    "BrokenWorkerError",
     "Cell",
     "CellResult",
+    "CellTimeoutError",
+    "ERROR_COLUMN",
     "EXTENDED_AXES",
+    "FAULT_KINDS",
+    "FailedItem",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPolicy",
+    "InjectedFault",
     "ProcessPoolDispatcher",
     "RESULT_COLUMNS",
     "ResultsStore",

@@ -11,26 +11,227 @@ the sweep layer's answer to the one-core ceiling of a single ``(R, n)``
 batch: cells are embarrassingly parallel (independent derived seeds, no
 shared state), so the pool scales wall-clock with cores while the ordered
 collection keeps aggregate output bitwise identical to a serial run.
+
+Fault tolerance
+---------------
+
+Both dispatchers accept a :class:`FaultPolicy` governing what happens when
+a cell misbehaves. Three failure modes are survived on the pool path:
+
+* **cell exception** — the worker function raised; the cell is retried up
+  to ``max_retries`` times with exponential backoff plus jitter;
+* **worker crash** — a worker process died (segfault, OOM kill,
+  ``os._exit``), which poisons the whole :class:`ProcessPoolExecutor`
+  (``BrokenProcessPool``); completed in-flight results are salvaged, the
+  pool is rebuilt, and crashed attempts are retried;
+* **hung cell** — a cell exceeded the per-cell ``timeout``; a watchdog
+  kills the pool (the only way to abandon a running task in a process
+  pool), requeues the innocent in-flight cells *without* charging them an
+  attempt, and retries the hung cell.
+
+Because retried work functions are deterministic per item (sweep cells
+carry their own derived seeds), a retry recomputes exactly the result the
+failed attempt would have produced — fault recovery never changes output,
+only wall-clock.
+
+Cells that exhaust their retries either abort the map (``on_failure=
+"raise"``, the default — queued work is cancelled and the pool torn down
+promptly rather than draining) or complete as structured
+:class:`FailedItem` values (``on_failure="record"``) that the sweep
+orchestrator persists as failure records.
+
+The watchdog relies on the pool never queueing more than one task per
+worker (submission is throttled to ``jobs`` in-flight items), so every
+in-flight item is genuinely *running* and its elapsed time is measured
+from its real start. This also resolves the ``BrokenProcessPool``
+ambiguity — the standard library cannot say which task killed the worker,
+but every in-flight task was running in *some* worker, so each is charged
+one crashed attempt (innocent neighbours lose one retry budget slot in
+exchange for never mis-blaming a queued cell that had not started).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import random
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["SerialDispatcher", "ProcessPoolDispatcher", "make_dispatcher"]
+__all__ = [
+    "FaultPolicy",
+    "FailedItem",
+    "CellTimeoutError",
+    "BrokenWorkerError",
+    "SerialDispatcher",
+    "ProcessPoolDispatcher",
+    "make_dispatcher",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 OnResult = Callable[[int, R], None] | None
 
+#: Lines kept from the end of a failing attempt's formatted traceback.
+TRACEBACK_TAIL = 6
+
+
+class CellTimeoutError(TimeoutError):
+    """A cell exceeded the per-cell ``FaultPolicy.timeout`` budget."""
+
+
+class BrokenWorkerError(RuntimeError):
+    """A worker process died while (probably) running this cell.
+
+    Deliberately *not* a ``BrokenProcessPool`` subclass: the dispatcher
+    catches ``BrokenProcessPool`` to rebuild the pool, and this error must
+    propagate to the caller instead of re-entering that recovery path.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """What a dispatcher does when a cell fails.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts per cell after the first failure (0 = fail fast).
+    backoff_base:
+        Seconds slept before retry 1; retry ``k`` waits
+        ``backoff_base * 2**(k-1)`` (capped at ``backoff_max``) plus up to
+        ``jitter`` of itself in uniform random jitter, so simultaneous
+        retries de-synchronize. ``0`` disables the sleep entirely — use
+        that in tests.
+    backoff_max:
+        Upper bound on the exponential term, so deep retries do not sleep
+        for minutes.
+    jitter:
+        Jitter fraction added on top of the exponential term (the sleep is
+        uniform in ``[backoff, backoff * (1 + jitter)]``). Randomized sleep
+        never affects results — cells are deterministic per seed.
+    timeout:
+        Per-cell wall-clock budget in seconds; ``None`` disables the
+        watchdog. Only the process-pool dispatcher can enforce it (a hung
+        cell inline in the orchestrating process cannot be preempted).
+    on_failure:
+        ``"raise"`` (default) re-raises the final error after retries are
+        exhausted, cancelling all queued work; ``"record"`` completes the
+        cell as a :class:`FailedItem` and keeps going.
+    """
+
+    max_retries: int = 0
+    backoff_base: float = 0.1
+    backoff_max: float = 30.0
+    jitter: float = 0.5
+    timeout: float | None = None
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.on_failure not in ("raise", "record"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'record', got {self.on_failure!r}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based): exponential + jitter."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        if self.backoff_base <= 0:
+            return 0.0
+        base = min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+        return base * (1.0 + self.jitter * random.random())
+
+
+@dataclass
+class FailedItem:
+    """A cell that exhausted its retries under ``on_failure="record"``.
+
+    Takes the place of the cell's result in the dispatcher's ordered
+    output (and in ``on_result``), carrying everything a resume needs to
+    know about *why* the cell failed: one entry per attempt with the error
+    type, message, a formatted-traceback tail, and the failure kind
+    (``"exception"``, ``"timeout"`` or ``"worker-crash"``).
+    """
+
+    index: int
+    attempts: list[dict] = field(default_factory=list)
+
+    @property
+    def error_type(self) -> str:
+        return self.attempts[-1]["type"] if self.attempts else "UnknownError"
+
+    @property
+    def message(self) -> str:
+        return self.attempts[-1]["message"] if self.attempts else ""
+
+    def describe(self) -> str:
+        """Deterministic one-line rendering (the CSV ``error`` column)."""
+        return f"{self.error_type}: {self.message}"
+
+    def to_record(self) -> dict:
+        """JSON-able failure record for the results store."""
+        last = self.attempts[-1] if self.attempts else {}
+        return {
+            "type": self.error_type,
+            "message": self.message,
+            "kind": last.get("kind", "exception"),
+            "traceback": list(last.get("traceback", [])),
+            "attempts": len(self.attempts),
+            "attempt_log": [dict(entry) for entry in self.attempts],
+        }
+
+
+def _exception_entry(exc: BaseException) -> dict:
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = [line.rstrip() for line in "".join(lines).splitlines()[-TRACEBACK_TAIL:]]
+    return {
+        "kind": "exception",
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": tail,
+    }
+
+
+def _timeout_entry(timeout: float) -> dict:
+    return {
+        "kind": "timeout",
+        "type": "CellTimeoutError",
+        "message": f"cell exceeded the {timeout:g}s per-cell timeout",
+        "traceback": [],
+    }
+
+
+def _crash_entry() -> dict:
+    return {
+        "kind": "worker-crash",
+        "type": "BrokenWorkerError",
+        "message": "worker process died while the cell was in flight (segfault/OOM/kill)",
+        "traceback": [],
+    }
+
 
 class SerialDispatcher:
     """Run every item inline in the calling process (``jobs=1``).
 
     Also the fallback of choice for debugging: tracebacks surface directly
-    and no subprocess machinery is involved.
+    and no subprocess machinery is involved. Honors ``FaultPolicy`` retries
+    and failure recording; the per-cell ``timeout`` is **not** enforced —
+    an inline cell cannot be preempted without a worker process, so a hung
+    cell hangs the run (use ``jobs >= 2`` for the watchdog).
     """
 
     jobs = 1
@@ -40,14 +241,83 @@ class SerialDispatcher:
         fn: Callable[[T], R],
         items: Sequence[T],
         on_result: OnResult = None,
+        policy: FaultPolicy | None = None,
     ) -> list[R]:
+        policy = policy if policy is not None else FaultPolicy()
         results: list[R] = []
         for index, item in enumerate(items):
-            result = fn(item)
+            attempt_log: list[dict] = []
+            while True:
+                try:
+                    result: R = fn(item)
+                except Exception as exc:
+                    entry = _exception_entry(exc)
+                    entry["attempt"] = len(attempt_log) + 1
+                    attempt_log.append(entry)
+                    if len(attempt_log) <= policy.max_retries:
+                        delay = policy.backoff(len(attempt_log))
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    if policy.on_failure == "record":
+                        result = FailedItem(index=index, attempts=attempt_log)  # type: ignore[assignment]
+                        break
+                    raise
+                else:
+                    break
             results.append(result)
             if on_result is not None:
                 on_result(index, result)
         return results
+
+
+class _MapState:
+    """Bookkeeping for one fault-tolerant :meth:`ProcessPoolDispatcher.map`.
+
+    Tracks, per item index: the collected result, failed-attempt log, the
+    last exception (re-raised under ``on_failure="raise"``), and the
+    backoff gate (``not_before``) in front of each retry.
+    """
+
+    def __init__(self, count: int, policy: FaultPolicy, on_result: OnResult) -> None:
+        self.policy = policy
+        self.on_result = on_result
+        self.results: list = [None] * count
+        self.done = [False] * count
+        self.attempt_log: list[list[dict]] = [[] for _ in range(count)]
+        self.last_exc: list[BaseException | None] = [None] * count
+        self.ready: list[int] = list(range(count))
+        self.not_before = [0.0] * count
+
+    @property
+    def outstanding(self) -> int:
+        return self.done.count(False)
+
+    def succeed(self, index: int, result) -> None:
+        self.results[index] = result
+        self.done[index] = True
+        if self.on_result is not None:
+            self.on_result(index, result)
+
+    def requeue(self, index: int) -> None:
+        """Resubmit without charging an attempt (innocent pool-kill victim)."""
+        self.ready.append(index)
+
+    def fail(self, index: int, entry: dict, exc: BaseException) -> None:
+        """Charge one failed attempt; requeue (after backoff) or finalize."""
+        entry = dict(entry)
+        entry["attempt"] = len(self.attempt_log[index]) + 1
+        self.attempt_log[index].append(entry)
+        self.last_exc[index] = exc
+        attempts = len(self.attempt_log[index])
+        if attempts <= self.policy.max_retries:
+            self.not_before[index] = time.monotonic() + self.policy.backoff(attempts)
+            self.ready.append(index)
+            return
+        if self.policy.on_failure == "record":
+            self.succeed(index, FailedItem(index=index, attempts=self.attempt_log[index]))
+            return
+        raise exc
 
 
 class ProcessPoolDispatcher:
@@ -55,9 +325,12 @@ class ProcessPoolDispatcher:
 
     ``fn`` and the items must be picklable and ``fn`` must be deterministic
     per item (sweep cells carry their own seeds, so this holds by
-    construction). A worker exception propagates to the caller after the
-    pool shuts down; already-completed items will have been reported through
-    ``on_result``, so a store-backed sweep loses nothing.
+    construction). Failure handling is governed by the ``policy`` passed to
+    :meth:`map` — see the module docstring for the three survived failure
+    modes. Under the default policy (no retries, ``on_failure="raise"``) a
+    worker exception propagates to the caller *promptly*: in-flight and
+    queued work is cancelled and the pool torn down instead of draining
+    every remaining cell first.
     """
 
     def __init__(self, jobs: int) -> None:
@@ -70,20 +343,193 @@ class ProcessPoolDispatcher:
         fn: Callable[[T], R],
         items: Sequence[T],
         on_result: OnResult = None,
+        policy: FaultPolicy | None = None,
     ) -> list[R]:
+        policy = policy if policy is not None else FaultPolicy()
         items = list(items)
         if not items:
             return []
-        results: list[R | None] = [None] * len(items)
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as executor:
-            futures = {executor.submit(fn, item): index for index, item in enumerate(items)}
-            for future in as_completed(futures):
-                index = futures[future]
-                result = future.result()
-                results[index] = result
-                if on_result is not None:
-                    on_result(index, result)
-        return results  # type: ignore[return-value]
+        state = _MapState(len(items), policy, on_result)
+        while state.outstanding:
+            max_workers = min(self.jobs, state.outstanding)
+            executor = ProcessPoolExecutor(max_workers=max_workers)
+            graceful = False
+            try:
+                graceful = self._run_pool(executor, max_workers, fn, items, state)
+            finally:
+                if graceful:
+                    executor.shutdown(wait=True)
+                else:
+                    self._kill_pool(executor)
+        return state.results
+
+    # ------------------------------------------------------------ internals
+
+    def _run_pool(
+        self,
+        executor: ProcessPoolExecutor,
+        max_workers: int,
+        fn: Callable[[T], R],
+        items: list[T],
+        state: _MapState,
+    ) -> bool:
+        """Drive one pool until the work drains (``True``) or it must be
+        killed and rebuilt (``False``: a hung cell or a dead worker)."""
+        inflight: dict[Future, int] = {}
+        started: dict[int, float] = {}
+        try:
+            while state.ready or inflight:
+                self._submit_eligible(executor, max_workers, fn, items, state, inflight, started)
+                if not inflight:
+                    # Everything runnable is behind its backoff gate.
+                    gate = min(state.not_before[index] for index in state.ready)
+                    delay = gate - time.monotonic()
+                    if delay > 0:
+                        time.sleep(min(delay, 0.5))
+                    continue
+                done, _ = wait(
+                    list(inflight), timeout=self._tick(state, inflight, started),
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    index = inflight[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        raise  # handled below: charge in-flight, rebuild
+                    except Exception as exc:
+                        inflight.pop(future)
+                        started.pop(index, None)
+                        state.fail(index, _exception_entry(exc), exc)
+                    else:
+                        inflight.pop(future)
+                        started.pop(index, None)
+                        state.succeed(index, result)
+                if policy_timeout := state.policy.timeout:
+                    if self._expire_timeouts(policy_timeout, state, inflight, started):
+                        return False
+        except BrokenProcessPool:
+            # A worker died abruptly. Submission is throttled to one task
+            # per worker, so every in-flight future was running in some
+            # worker: salvage the ones that completed, charge the rest one
+            # crashed attempt each.
+            for future, index in list(inflight.items()):
+                if future.done():
+                    try:
+                        state.succeed(index, future.result())
+                        continue
+                    except Exception:
+                        pass
+                state.fail(
+                    index,
+                    _crash_entry(),
+                    BrokenWorkerError(
+                        f"worker process died while item {index} was in flight"
+                    ),
+                )
+            return False
+        return True
+
+    def _submit_eligible(
+        self,
+        executor: ProcessPoolExecutor,
+        max_workers: int,
+        fn: Callable[[T], R],
+        items: list[T],
+        state: _MapState,
+        inflight: dict[Future, int],
+        started: dict[int, float],
+    ) -> None:
+        """Top the pool up to one in-flight task per worker.
+
+        Throttling to ``max_workers`` (instead of submitting everything up
+        front) is what makes the watchdog honest: every submitted item is
+        actually running, so its elapsed time starts at submission.
+        """
+        capacity = max_workers - len(inflight)
+        if capacity <= 0 or not state.ready:
+            return
+        now = time.monotonic()
+        still_gated: list[int] = []
+        for index in state.ready:
+            if capacity > 0 and state.not_before[index] <= now:
+                future = executor.submit(fn, items[index])
+                inflight[future] = index
+                started[index] = time.monotonic()
+                capacity -= 1
+            else:
+                still_gated.append(index)
+        state.ready = still_gated
+
+    def _tick(
+        self, state: _MapState, inflight: dict[Future, int], started: dict[int, float]
+    ) -> float | None:
+        """How long :func:`wait` may block before the watchdog must look."""
+        wake_at: list[float] = []
+        if state.ready:
+            # Wake for the earliest backoff gate so gated retries resubmit
+            # even while long cells are still running.
+            wake_at.append(min(state.not_before[index] for index in state.ready))
+        if state.policy.timeout is not None:
+            wake_at.append(
+                min(started[index] for index in inflight.values())
+                + state.policy.timeout
+                + 0.01
+            )
+        if not wake_at:
+            return None
+        return max(0.05, min(wake_at) - time.monotonic())
+
+    def _expire_timeouts(
+        self,
+        timeout: float,
+        state: _MapState,
+        inflight: dict[Future, int],
+        started: dict[int, float],
+    ) -> bool:
+        """Charge cells over budget; requeue innocent in-flight neighbours.
+
+        Returns ``True`` when anything expired — the caller must kill the
+        pool, because a running task in a ``ProcessPoolExecutor`` cannot be
+        cancelled any other way. The innocents are requeued *without* an
+        attempt charge (their computation dies with the pool through no
+        fault of their own) and recompute identically on the rebuilt pool.
+        """
+        now = time.monotonic()
+        expired = [
+            (future, index)
+            for future, index in inflight.items()
+            if now - started[index] >= timeout
+        ]
+        if not expired:
+            return False
+        for future, index in expired:
+            inflight.pop(future)
+            started.pop(index, None)
+            state.fail(
+                index,
+                _timeout_entry(timeout),
+                CellTimeoutError(
+                    f"item {index} exceeded the {timeout:g}s per-cell timeout"
+                ),
+            )
+        for future, index in inflight.items():
+            state.requeue(index)
+        return True
+
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down *now*: SIGKILL workers, cancel queued futures.
+
+        SIGKILL (not terminate) because the reason we are here may be a
+        worker hung in uninterruptible state. Touches the private
+        ``_processes`` map — the stdlib offers no public way to abandon a
+        running task, and this attribute has been stable since 3.8.
+        """
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        for process in processes:
+            process.kill()
+        executor.shutdown(wait=True, cancel_futures=True)
 
 
 def make_dispatcher(jobs: int) -> SerialDispatcher | ProcessPoolDispatcher:

@@ -8,6 +8,17 @@ The returned :class:`SweepResult` keeps cells and results aligned in the
 spec's canonical expansion order, so every export — rows, table, CSV — is
 **bitwise identical regardless of job count or how many runs (interrupted
 or cached) it took to fill the grid**.
+
+Fault tolerance is threaded through via a
+:class:`~repro.sweep.dispatch.FaultPolicy`: cell exceptions, worker crashes
+and hung cells are retried by the dispatcher, and cells that exhaust their
+retries under ``on_failure="record"`` persist as **failure records** — the
+store keeps the error type, message, traceback tail and per-attempt log, so
+a resumed sweep knows what crashed and why (and serves the failure instead
+of re-crashing blindly; pass ``retry_failed=True`` or ``force=True`` to try
+again). Failure rows export as NaN payload columns plus an ``error`` column
+that only appears when a sweep actually recorded failures, keeping
+fault-free aggregate CSVs byte-identical to their historical form.
 """
 
 from __future__ import annotations
@@ -15,12 +26,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from ..viz.csv_out import write_rows
 from ..viz.tables import format_table
-from .dispatch import make_dispatcher
+from .dispatch import FailedItem, FaultPolicy, make_dispatcher
 from .registry import validate_cell
-from .runner import RESULT_COLUMNS, CellResult, execute_cell
+from .runner import ERROR_COLUMN, RESULT_COLUMNS, CellResult, execute_cell
 from .spec import Cell, SweepSpec
 from .store import ResultsStore
 
@@ -45,15 +57,38 @@ class SweepResult:
         """Cells served from the store without recomputation."""
         return sum(1 for result in self.results if result.cached)
 
+    @property
+    def failed(self) -> int:
+        """Cells that are recorded failures (fresh or served from store)."""
+        return sum(1 for result in self.results if result.failed)
+
+    def failures(self) -> list[tuple[Cell, CellResult]]:
+        """The failed cells with their failure records, in cell order."""
+        return [
+            (cell, result)
+            for cell, result in zip(self.cells, self.results)
+            if result.failed
+        ]
+
+    def _columns(self) -> list[str]:
+        """Export columns: the ``error`` column rides along only when some
+        cell failed, so fault-free exports keep their exact bytes."""
+        columns = list(RESULT_COLUMNS)
+        if self.failed:
+            columns.append(ERROR_COLUMN)
+        return columns
+
     def rows(self) -> list[dict]:
-        """Flat per-cell dicts over ``RESULT_COLUMNS``, in cell order."""
+        """Flat per-cell dicts over ``RESULT_COLUMNS`` + ``error``, in cell
+        order (failure rows are NaN everywhere a payload would be read)."""
         return [result.row() for result in self.results]
 
     def table(self) -> str:
         """Aligned text table of all cells (NaN renders as ``-``)."""
+        columns = self._columns()
         return format_table(
-            list(RESULT_COLUMNS),
-            [[row[column] for column in RESULT_COLUMNS] for row in self.rows()],
+            columns,
+            [[row[column] for column in columns] for row in self.rows()],
         )
 
     def write_csv(self, path: str | Path) -> Path:
@@ -61,17 +96,19 @@ class SweepResult:
 
         Cell order and float formatting are deterministic, so two sweeps of
         the same spec produce byte-identical files whatever their job
-        counts or cache states were.
+        counts or cache states were — including sweeps with recorded
+        failures, whose ``error`` renderings are deterministic too.
         """
+        columns = self._columns()
         table = []
         for row in self.rows():
             table.append(
                 [
                     "" if isinstance(value, float) and math.isnan(value) else value
-                    for value in (row[column] for column in RESULT_COLUMNS)
+                    for value in (row[column] for column in columns)
                 ]
             )
-        return write_rows(path, RESULT_COLUMNS, table)
+        return write_rows(path, columns, table)
 
 
 def run_sweep(
@@ -80,6 +117,9 @@ def run_sweep(
     jobs: int = 1,
     store: ResultsStore | str | Path | None = None,
     force: bool = False,
+    policy: FaultPolicy | None = None,
+    retry_failed: bool = False,
+    work_fn: Callable[[Cell], CellResult] | None = None,
 ) -> SweepResult:
     """Run every cell of ``spec``, in parallel and against the store.
 
@@ -92,37 +132,79 @@ def run_sweep(
         A :class:`ResultsStore` (or a path to create one at). Cells whose
         key is present are served from it; cells computed by this run are
         appended to it as they finish, making any interrupted run resumable.
+        A store created here from a path is opened ``durable`` (fsync per
+        appended cell — machine-crash-safe persistence; pass your own
+        :class:`ResultsStore` to opt out).
     force:
         Recompute every cell even on a store hit (fresh results overwrite
-        the stored entries).
+        the stored entries, failure records included).
+    policy:
+        A :class:`~repro.sweep.dispatch.FaultPolicy` governing retries,
+        backoff, the per-cell timeout watchdog, and whether a cell that
+        exhausts its retries aborts the sweep (``on_failure="raise"``, the
+        default) or completes as a persisted failure record
+        (``on_failure="record"``).
+    retry_failed:
+        Treat stored *failure* records as cache misses (successful records
+        are still served) — the resume knob after fixing whatever crashed.
+    work_fn:
+        The per-cell work function; defaults to
+        :func:`~repro.sweep.runner.execute_cell`. The seam the
+        fault-injection harness (:mod:`repro.sweep.faults`) wraps to prove
+        the recovery paths end to end; any replacement must be picklable
+        and deterministic per cell.
     """
     cells = spec.expand()
     for cell in cells:
         validate_cell(cell)
     if store is not None and not isinstance(store, ResultsStore):
-        store = ResultsStore(store)
+        store = ResultsStore(store, durable=True)
 
     results: list[CellResult | None] = [None] * len(cells)
     pending: list[int] = []
     for index, cell in enumerate(cells):
         key = cell.key()
         record = store.get(key) if store is not None and not force else None
-        if record is not None:
+        if record is not None and "error" in record and retry_failed:
+            record = None
+        if record is None:
+            pending.append(index)
+        elif "error" in record:
+            results[index] = CellResult(
+                key=key, cell=record["cell"], payload={}, cached=True,
+                error=record["error"],
+            )
+        else:
             results[index] = CellResult(
                 key=key, cell=record["cell"], payload=record["payload"], cached=True
             )
-        else:
-            pending.append(index)
 
     if pending:
-        def persist(_pending_index: int, result: CellResult) -> None:
-            if store is not None:
-                store.put(result.key, {"cell": result.cell, "payload": result.payload})
+        pending_cells = [cells[index] for index in pending]
+
+        def persist(pending_index: int, outcome: CellResult | FailedItem) -> None:
+            if store is None:
+                return
+            if isinstance(outcome, FailedItem):
+                cell = pending_cells[pending_index]
+                store.put(cell.key(), {"cell": cell.to_dict(), "error": outcome.to_record()})
+            else:
+                store.put(outcome.key, {"cell": outcome.cell, "payload": outcome.payload})
 
         computed = make_dispatcher(jobs).map(
-            execute_cell, [cells[index] for index in pending], on_result=persist
+            work_fn if work_fn is not None else execute_cell,
+            pending_cells,
+            on_result=persist,
+            policy=policy,
         )
-        for index, result in zip(pending, computed):
-            results[index] = result
+        for index, outcome in zip(pending, computed):
+            if isinstance(outcome, FailedItem):
+                cell = cells[index]
+                results[index] = CellResult(
+                    key=cell.key(), cell=cell.to_dict(), payload={},
+                    error=outcome.to_record(),
+                )
+            else:
+                results[index] = outcome
 
     return SweepResult(spec=spec, cells=cells, results=results)  # type: ignore[arg-type]

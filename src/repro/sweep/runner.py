@@ -70,7 +70,13 @@ __all__ = [
     "register_measure",
     "validate_measure",
     "RESULT_COLUMNS",
+    "ERROR_COLUMN",
 ]
+
+#: Extra export column appended after :data:`RESULT_COLUMNS` when (and only
+#: when) a sweep carries recorded failures — fault-free exports keep their
+#: exact historical bytes.
+ERROR_COLUMN = "error"
 
 #: Flat export columns shared by the CSV and table renderings, in order.
 RESULT_COLUMNS = (
@@ -98,18 +104,41 @@ class CellResult:
     measurement outcome — both JSON-able, so a result pickles to/from worker
     processes and round-trips through the JSON-lines store unchanged.
     ``cached`` marks results served from a store instead of computed.
+
+    A cell that exhausted its retries under a ``FaultPolicy`` with
+    ``on_failure="record"`` carries an ``error`` dict (the
+    :meth:`~repro.sweep.dispatch.FailedItem.to_record` form — error type,
+    message, traceback tail, per-attempt log) and an empty payload; its
+    :meth:`row` renders NaN in every payload-derived column plus the
+    ``error`` column, and the payload accessors raise.
     """
 
     key: str
     cell: dict
     payload: dict
     cached: bool = field(default=False, compare=False)
+    error: dict | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this cell is a recorded failure instead of a result."""
+        return self.error is not None
+
+    def _require_payload(self) -> None:
+        if self.failed:
+            raise ValueError(
+                f"cell failed after {self.error.get('attempts', '?')} attempt(s) "
+                f"({self.error.get('type')}: {self.error.get('message')}); "
+                "it has no payload"
+            )
 
     @property
     def measure(self) -> str:
+        self._require_payload()
         return self.payload["measure"]
 
     def times(self) -> np.ndarray:
+        self._require_payload()
         return np.asarray(self.payload["times"], dtype=float)
 
     def time_summary(self) -> TimesSummary:
@@ -133,13 +162,31 @@ class CellResult:
         )
 
     def row(self) -> dict:
-        """Flat dict over :data:`RESULT_COLUMNS` for CSV/table export.
+        """Flat dict over :data:`RESULT_COLUMNS` (+ ``error``) for export.
 
         Columns that do not apply to the cell's measure (``settle`` for
         consensus cells, ``successes``/``rate`` for a registered custom
         measure whose payload carries neither ``successes`` nor ``reached``)
-        are NaN; exporters render NaN as blank.
+        are NaN; exporters render NaN as blank. Failure records render NaN
+        in every payload-derived column with the deterministic
+        ``"ErrorType: message"`` rendering in ``error`` — succeeding rows
+        carry an empty ``error`` so the column only surfaces in exports
+        when a sweep actually recorded failures.
         """
+        if self.failed:
+            row = dict.fromkeys(RESULT_COLUMNS, float("nan"))
+            row.update(
+                {
+                    "protocol": self.cell["protocol"]["name"],
+                    "init": self.cell["initializer"]["name"],
+                    "n": self.cell["n"],
+                    "noise": self.cell["noise"],
+                    "trials": self.cell["trials"],
+                    "engine": "",
+                    "error": f"{self.error.get('type')}: {self.error.get('message')}",
+                }
+            )
+            return row
         trials = self.cell["trials"]
         summary = self.time_summary()
         settle = float("nan")
@@ -164,6 +211,7 @@ class CellResult:
             "max": summary.maximum,
             "settle": settle,
             "engine": self.payload["engine"],
+            "error": "",
         }
 
 

@@ -44,3 +44,14 @@ def small_population():
 
 def scripted_sampler(*vectors) -> ScriptedCountSampler:
     return ScriptedCountSampler(list(vectors))
+
+
+def pytest_configure(config):
+    # The chaos/watchdog tests mark themselves with per-test timeouts that
+    # pytest-timeout enforces in CI; locally (plugin absent) the mark must
+    # still be registered so it does not warn.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock budget (enforced when the "
+        "pytest-timeout plugin is installed, as in CI)",
+    )

@@ -511,7 +511,12 @@ class TestStoreCompaction:
         store.put("a", {"payload": 3})  # supersedes the first line
         assert len(path.read_text().splitlines()) == 3
         summary = store.compact()
-        assert summary == {"lines_before": 3, "corrupt_lines": 0, "records": 2}
+        assert summary == {
+            "lines_before": 3,
+            "corrupt_lines": 0,
+            "checksum_failures": 0,
+            "records": 2,
+        }
         lines = path.read_text().splitlines()
         assert len(lines) == 2
         reloaded = ResultsStore(path)

@@ -365,3 +365,99 @@ class TestResultsStore:
 
     def test_missing_file_is_empty(self, tmp_path):
         assert len(ResultsStore(tmp_path / "absent.jsonl")) == 0
+
+
+class TestStoreIntegrity:
+    """Per-record checksums and the fsync durability knob."""
+
+    def test_records_carry_verifiable_checksums(self, tmp_path):
+        from repro.sweep.store import record_checksum
+
+        path = tmp_path / "s.jsonl"
+        ResultsStore(path).put("k", {"cell": {"n": 10}, "payload": {"x": 1}})
+        record = json.loads(path.read_text())
+        assert record["checksum"] == record_checksum(record)
+        reloaded = ResultsStore(path)
+        assert reloaded.checksum_failures == 0
+        assert reloaded.get("k")["payload"] == {"x": 1}
+
+    def test_corrupted_middle_line_refused_and_recomputed(self, tmp_path):
+        # The satellite's acceptance case: flip one payload byte in the
+        # *middle* of a store (still valid JSON, still has a key) and the
+        # record must be refused at load and recomputed by the next sweep.
+        spec = small_spec()
+        store_path = tmp_path / "store.jsonl"
+        reference = run_sweep(spec, jobs=1, store=store_path)
+        reference_csv = reference.write_csv(tmp_path / "ref.csv").read_bytes()
+
+        lines = store_path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["payload"]["successes"] = record["payload"]["successes"] + 1
+        lines[1] = json.dumps(record, sort_keys=True)
+        store_path.write_text("\n".join(lines) + "\n")
+
+        tampered = ResultsStore(store_path)
+        assert tampered.checksum_failures == 1
+        assert len(tampered) == 3  # the other records still load
+
+        resumed = run_sweep(spec, jobs=1, store=store_path)
+        assert (resumed.executed, resumed.cached) == (1, 3)
+        assert resumed.write_csv(tmp_path / "res.csv").read_bytes() == reference_csv
+
+    def test_legacy_records_without_checksum_load(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        legacy = {"key": "old", "cell": {"n": 5}, "payload": {"x": 2}}
+        path.write_text(json.dumps(legacy) + "\n")
+        store = ResultsStore(path)
+        assert store.get("old")["payload"] == {"x": 2}
+        assert store.checksum_failures == 0
+
+    def test_compact_drops_and_reports_checksum_failures(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultsStore(path)
+        store.put("a", {"payload": 1})
+        store.put("b", {"payload": 2})
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"payload": 1', '"payload": 9')
+        path.write_text("\n".join(lines) + "\n")
+
+        summary = ResultsStore(path).compact()
+        assert summary["checksum_failures"] == 1
+        assert summary["records"] == 1
+        # The rewritten file carries only the intact record.
+        survivors = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["key"] for r in survivors] == ["b"]
+        assert ResultsStore(path).checksum_failures == 0
+
+    def test_durable_store_fsyncs_every_put(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        calls = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.sweep.store.os.fsync",
+            lambda fd: (calls.append(fd), real_fsync(fd)),
+        )
+        durable = ResultsStore(tmp_path / "d.jsonl", durable=True)
+        durable.put("a", {"payload": 1})
+        durable.put("b", {"payload": 2})
+        assert len(calls) == 2
+        lazy = ResultsStore(tmp_path / "l.jsonl")
+        lazy.put("a", {"payload": 1})
+        assert len(calls) == 2  # the default store never pays the barrier
+
+    def test_run_sweep_store_is_durable(self, tmp_path, monkeypatch):
+        # run_sweep opens path-based stores durable=True so a resume point
+        # survives machine crashes, not just process kills.
+        import repro.sweep.orchestrator as orchestrator
+
+        opened = []
+
+        class SpyingStore(orchestrator.ResultsStore):
+            def __init__(self, path, **kwargs):
+                opened.append(kwargs)
+                super().__init__(path, **kwargs)
+
+        monkeypatch.setattr(orchestrator, "ResultsStore", SpyingStore)
+        run_sweep(small_spec(), jobs=1, store=tmp_path / "store.jsonl")
+        assert opened == [{"durable": True}]
