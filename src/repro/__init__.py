@@ -22,7 +22,13 @@ Communication" (arXiv:2203.11522). The package provides:
   recording (full, strided, or ring-buffered) with vectorized trace-derived
   measures — the layer that runs the trajectory-shaped workloads
   (``keep_results``, Figure 1b transitions, θ/settle sweeps) on the batched
-  engine; ``python -m repro trace`` charts and exports recorded runs.
+  engine; ``python -m repro trace`` charts and exports recorded runs;
+* the telemetry subsystem (:mod:`repro.telemetry`): a dependency-free
+  metrics registry (counters/gauges/histograms, off by default) wired
+  through the engines, dispatchers, orchestrator, and store, with
+  Prometheus text exposition, deterministic cross-process aggregation,
+  and a live sweep progress line — ``python -m repro metrics`` and the
+  ``--progress`` / ``--metrics-out`` sweep flags surface it.
 
 Quickstart::
 
@@ -77,7 +83,7 @@ from .protocols import (
 from .sweep import ResultsStore, SweepResult, SweepSpec, run_sweep
 from .trace import BatchTrace, FullTrace, RingBufferTrace, TraceRecorder
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchTrace",

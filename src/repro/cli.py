@@ -7,7 +7,11 @@ Small, dependency-free front door for the library's main entry points:
 * ``scale``  — a quick Theorem-1 scaling sweep with exponent fit.
 * ``compare``— FET vs. the baseline protocols from the all-wrong start.
 * ``sweep``  — a declarative experiment grid (JSON spec or the built-in FET
-  demo grid) run through the parallel, resumable sweep orchestrator.
+  demo grid) run through the parallel, resumable sweep orchestrator, with
+  optional live progress (``--progress``) and metrics export
+  (``--metrics-out``).
+* ``metrics``— run a grid with telemetry on and dump the aggregated
+  counters in Prometheus text exposition format.
 * ``trace``  — record per-replica trajectories of a batched run (full,
   strided, or ring-buffered), chart the reduced curve, and export CSV.
 
@@ -19,9 +23,11 @@ success. The heavy, assertion-carrying versions of these experiments live in
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis.domains import DomainPartition
@@ -47,6 +53,7 @@ from .sweep import (
     protocol_names,
     run_sweep,
 )
+from .telemetry import MetricsRegistry, render_prometheus
 from .trace import make_recorder, settle_rounds
 from .viz.ascii_grid import render_batch_trace, render_domain_map, render_trajectory
 from .viz.csv_out import write_trace_csv
@@ -128,7 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="per-cell wall-clock budget; hung cells are abandoned and retried "
-        "(needs --jobs >= 2: the watchdog kills worker processes)",
+        "(with --jobs >= 2 the watchdog kills worker processes; serial runs "
+        "abandon the hung thread and move on)",
     )
     sweep_cmd.add_argument(
         "--keep-going",
@@ -147,10 +155,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the --store file keeping only the latest record per key, then exit",
     )
     sweep_cmd.add_argument(
+        "--durable",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fsync the --store file after every appended cell so records "
+        "survive machine crashes, not just process kills; costs one disk "
+        "barrier (~1-10 ms) per cell (default on; --no-durable for "
+        "throwaway stores)",
+    )
+    sweep_cmd.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line on stderr: cells done/total, failures, "
+        "retries, throughput, ETA",
+    )
+    sweep_cmd.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the run's aggregated telemetry here in Prometheus text "
+        "exposition format, plus a .json sibling with the raw snapshot "
+        "(give a .json path to swap which gets the sibling suffix)",
+    )
+    sweep_cmd.add_argument(
         "--list",
         action="store_true",
         dest="list_components",
         help="print the registered protocol/initializer/sampler components and exit",
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="run a sweep with telemetry on and print Prometheus exposition",
+    )
+    metrics_cmd.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        help="path to a sweep spec JSON file (default: the built-in FET demo grid)",
+    )
+    metrics_cmd.add_argument(
+        "--jobs", type=_jobs, default=1,
+        help="worker processes (default 1; 0 means one per CPU core)",
+    )
+    metrics_cmd.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the exposition here instead of stdout (a .json sibling "
+        "with the raw snapshot rides along)",
     )
 
     trace_cmd = sub.add_parser(
@@ -353,6 +408,24 @@ def _cmd_sweep_compact(store_path: str | None) -> int:
     return 0
 
 
+def _write_metrics(snapshot, out_path: str) -> tuple[Path, Path]:
+    """Write a metrics snapshot as Prometheus exposition + raw-JSON sibling.
+
+    The given path names the exposition file and the ``.json`` sibling gets
+    the snapshot — unless the path itself ends in ``.json``, in which case
+    the roles swap and the sibling is the ``.prom`` file.
+    """
+    path = Path(out_path)
+    if path.suffix == ".json":
+        json_path, prom_path = path, path.with_suffix(".prom")
+    else:
+        prom_path, json_path = path, path.with_suffix(".json")
+    prom_path.parent.mkdir(parents=True, exist_ok=True)
+    prom_path.write_text(render_prometheus(snapshot))
+    json_path.write_text(json.dumps(snapshot.to_dict(), indent=2, sort_keys=True) + "\n")
+    return prom_path, json_path
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.list_components:
         return _cmd_sweep_list()
@@ -370,6 +443,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         on_failure="record" if args.keep_going else "raise",
     )
     spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
+    registry = MetricsRegistry() if args.metrics_out else None
     result = run_sweep(
         spec,
         jobs=args.jobs,
@@ -377,6 +451,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         force=args.force,
         policy=policy,
         retry_failed=args.retry_failed,
+        durable=args.durable,
+        metrics=registry,
+        progress=args.progress,
     )
     print(f"sweep {spec.name!r}: {len(result.cells)} cells, jobs={args.jobs}")
     print(result.table())
@@ -389,6 +466,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.out:
         path = result.write_csv(args.out)
         print(f"wrote {path}")
+    if args.metrics_out and result.metrics is not None:
+        prom_path, json_path = _write_metrics(result.metrics, args.metrics_out)
+        print(f"wrote {prom_path} and {json_path}")
+    return 1 if result.failed else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
+    registry = MetricsRegistry()
+    result = run_sweep(spec, jobs=args.jobs, metrics=registry)
+    assert result.metrics is not None
+    if args.out:
+        prom_path, json_path = _write_metrics(result.metrics, args.out)
+        print(f"wrote {prom_path} and {json_path}")
+    else:
+        sys.stdout.write(render_prometheus(result.metrics))
     return 1 if result.failed else 0
 
 
@@ -397,6 +490,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "scale": _cmd_scale,
     "compare": _cmd_compare,
+    "metrics": _cmd_metrics,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
 }

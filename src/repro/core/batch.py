@@ -38,11 +38,13 @@ their final value, so per-round logs survive retirement.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from ..telemetry.registry import current_registry
 from .population import PopulationState
 from .protocol import Protocol, ProtocolState
 from .rng import as_rng
@@ -462,6 +464,8 @@ class BatchedEngine:
         if linger_rounds < 0:
             raise ValueError(f"linger_rounds must be non-negative, got {linger_rounds}")
         condition = stop_condition or BatchedPopulation.at_correct_consensus
+        metrics = current_registry()
+        run_start = time.perf_counter() if metrics is not None else 0.0
 
         total = self.batch.replicas
         converged = np.zeros(total, dtype=bool)
@@ -561,6 +565,22 @@ class BatchedEngine:
 
         self.states = states
         self.batch.invalidate_cache()
+        if metrics is not None:
+            metrics.counter(
+                "repro_engine_rounds_total",
+                "Lock-step synchronous rounds executed, by engine.",
+                engine="batched",
+            ).inc(rounds_done)
+            metrics.counter(
+                "repro_engine_replicas_retired_total",
+                "Replicas that left the batched working set (converged, "
+                "lingered out, or budget-exhausted).",
+            ).inc(total)
+            metrics.histogram(
+                "repro_engine_run_seconds",
+                "Wall-clock seconds per engine run() call, by engine.",
+                engine="batched",
+            ).observe(time.perf_counter() - run_start)
         return BatchRunResult(
             converged=converged,
             rounds=rounds,

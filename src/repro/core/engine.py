@@ -16,10 +16,12 @@ window of 2 therefore makes the detection exact rather than heuristic.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..telemetry.registry import current_registry
 from .population import PopulationState
 from .protocol import Protocol, ProtocolState
 from .records import RoundRecord, RunResult
@@ -117,6 +119,8 @@ class SynchronousEngine:
         if stability_rounds < 1:
             raise ValueError(f"stability_rounds must be >= 1, got {stability_rounds}")
         condition = stop_condition or PopulationState.at_correct_consensus
+        metrics = current_registry()
+        run_start = time.perf_counter() if metrics is not None else 0.0
         trajectory = [self.population.fraction_ones()]
         flip_log: list[int] = []
         wants_flips = recorder is not None and getattr(recorder, "record_flips", False)
@@ -160,6 +164,17 @@ class SynchronousEngine:
                 streak = 0
                 first_hit = -1
             converged = streak >= stability_rounds
+        if metrics is not None:
+            metrics.counter(
+                "repro_engine_rounds_total",
+                "Lock-step synchronous rounds executed, by engine.",
+                engine="sequential",
+            ).inc(rounds_done)
+            metrics.histogram(
+                "repro_engine_run_seconds",
+                "Wall-clock seconds per engine run() call, by engine.",
+                engine="sequential",
+            ).observe(time.perf_counter() - run_start)
         return RunResult(
             converged=converged,
             rounds=first_hit if converged else rounds_done,

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..telemetry.registry import MetricsRegistry, current_registry
 from .population import PopulationState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -413,6 +414,26 @@ def _sparse_binomial_rows(
     return out
 
 
+def _record_tier_rows(
+    metrics: MetricsRegistry,
+    zeros: np.ndarray,
+    ones: np.ndarray,
+    sparse_rows: np.ndarray,
+    scalar_rows: np.ndarray,
+    histogram_rows: np.ndarray,
+) -> None:
+    """Count per-call tier routing of the ``"auto"`` strategy (rows per tier)."""
+    help_text = "Replica rows routed to each batched_binomial_counts auto tier."
+    for tier, rows in (
+        ("consensus", int(np.count_nonzero(zeros)) + int(np.count_nonzero(ones))),
+        ("sparse", int(np.count_nonzero(sparse_rows))),
+        ("grouped", int(np.count_nonzero(scalar_rows))),
+        ("histogram", int(np.count_nonzero(histogram_rows))),
+    ):
+        if rows:
+            metrics.counter("repro_sampler_tier_rows_total", help_text, tier=tier).inc(rows)
+
+
 def batched_binomial_counts(
     rng: np.random.Generator,
     ell: int,
@@ -473,6 +494,9 @@ def batched_binomial_counts(
     sparse_rows = extreme & (tail <= _SPARSE_CUTOFF)
     scalar_rows = extreme & ~sparse_rows & (tail <= _INVERSION_CUTOFF)
     histogram_rows = extreme & (tail > _INVERSION_CUTOFF)
+    metrics = current_registry()
+    if metrics is not None:
+        _record_tier_rows(metrics, zeros, ones, sparse_rows, scalar_rows, histogram_rows)
     # Single-strategy fast paths — the overwhelmingly common rounds (all
     # replicas in lock-step near one end, or all at consensus) skip the
     # allocate-and-scatter entirely.

@@ -79,6 +79,7 @@ from .runner import (
     ERROR_COLUMN,
     RESULT_COLUMNS,
     CellResult,
+    MeteredCell,
     execute_cell,
     measure_kinds,
     register_measure,
@@ -109,6 +110,7 @@ __all__ = [
     "FaultPlan",
     "FaultPolicy",
     "InjectedFault",
+    "MeteredCell",
     "ProcessPoolDispatcher",
     "RESULT_COLUMNS",
     "ResultsStore",

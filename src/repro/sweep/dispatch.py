@@ -27,7 +27,14 @@ a cell misbehaves. Three failure modes are survived on the pool path:
 * **hung cell** — a cell exceeded the per-cell ``timeout``; a watchdog
   kills the pool (the only way to abandon a running task in a process
   pool), requeues the innocent in-flight cells *without* charging them an
-  attempt, and retries the hung cell.
+  attempt, and retries the hung cell. The serial dispatcher enforces the
+  same budget by running each attempt in a watchdog thread and abandoning
+  it on expiry (:func:`_call_with_timeout`).
+
+Both dispatchers report retries, backoff, crashes, watchdog expiries, an
+in-flight gauge, and per-attempt wall-clock into the ambient
+:mod:`repro.telemetry` registry when one is installed; with telemetry off
+(the default) the probes reduce to one ``None`` check per ``map``.
 
 Because retried work functions are deterministic per item (sweep cells
 carry their own derived seeds), a retry recomputes exactly the result the
@@ -53,12 +60,15 @@ exchange for never mis-blaming a queued cell that had not started).
 from __future__ import annotations
 
 import random
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
+
+from ..telemetry.registry import MetricsRegistry, current_registry
 
 __all__ = [
     "FaultPolicy",
@@ -115,8 +125,11 @@ class FaultPolicy:
         never affects results — cells are deterministic per seed.
     timeout:
         Per-cell wall-clock budget in seconds; ``None`` disables the
-        watchdog. Only the process-pool dispatcher can enforce it (a hung
-        cell inline in the orchestrating process cannot be preempted).
+        watchdog. The pool dispatcher enforces it by killing and rebuilding
+        the pool; the serial dispatcher runs each attempt in a watchdog
+        thread and *abandons* it on expiry (threads cannot be preempted, so
+        the zombie attempt keeps computing in the background while the
+        dispatcher charges the timeout and moves on).
     on_failure:
         ``"raise"`` (default) re-raises the final error after retries are
         exhausted, cancelling all queued work; ``"record"`` completes the
@@ -224,14 +237,88 @@ def _crash_entry() -> dict:
     }
 
 
+class _DispatchMetrics:
+    """Pre-resolved dispatcher metric children (one registry lookup per map).
+
+    Both dispatchers report through the same family names, so ``jobs=1``
+    and ``jobs=N`` runs of one grid aggregate identically.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.retries = registry.counter(
+            "repro_sweep_retries_total",
+            "Retry attempts granted after a charged cell failure "
+            "(exception, timeout, or worker-crash charge).",
+        )
+        self.backoff = registry.counter(
+            "repro_sweep_backoff_seconds_total",
+            "Exponential-backoff delay seconds scheduled ahead of retries.",
+        )
+        self.crashes = registry.counter(
+            "repro_sweep_worker_crashes_total",
+            "Worker-pool breakage events (a worker process died and the "
+            "pool was rebuilt); one event may charge several in-flight cells.",
+        )
+        self.watchdog = registry.counter(
+            "repro_sweep_watchdog_expiries_total",
+            "Per-cell timeout watchdog expiries (attempts abandoned over budget).",
+        )
+        self.inflight = registry.gauge(
+            "repro_sweep_inflight_cells",
+            "Cell attempts currently running in the dispatcher.",
+        )
+        self.cell_seconds = registry.histogram(
+            "repro_cell_seconds",
+            "Wall-clock seconds of finished cell attempts (successes and "
+            "cell exceptions; crashed or timed-out attempts are censored).",
+        )
+
+    @classmethod
+    def maybe(cls) -> "_DispatchMetrics | None":
+        registry = current_registry()
+        return cls(registry) if registry is not None else None
+
+
+def _call_with_timeout(fn: Callable[[T], R], item: T, timeout: float) -> R:
+    """Run ``fn(item)`` in a watchdog thread; give up after ``timeout``.
+
+    Python threads cannot be preempted, so a timed-out attempt is
+    *abandoned*, not killed: the daemon thread keeps computing in the
+    background (it cannot block interpreter exit) while the caller charges
+    the timeout and moves on — the serial analogue of the pool watchdog's
+    discard-the-attempt semantics, at the cost of the zombie attempt's CPU
+    until it finishes on its own. The thread starts with a fresh
+    contextvars context, so it sees no ambient metrics registry and an
+    abandoned attempt can never corrupt the parent's telemetry.
+    """
+    outcome: list[tuple[bool, object]] = []
+
+    def _target() -> None:
+        try:
+            outcome.append((True, fn(item)))
+        except BaseException as exc:  # ship the failure back by value
+            outcome.append((False, exc))
+
+    thread = threading.Thread(target=_target, name="repro-serial-cell", daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if not outcome:
+        raise CellTimeoutError(f"cell exceeded the {timeout:g}s per-cell timeout")
+    ok, value = outcome[0]
+    if ok:
+        return value  # type: ignore[return-value]
+    raise value  # type: ignore[misc]
+
+
 class SerialDispatcher:
     """Run every item inline in the calling process (``jobs=1``).
 
     Also the fallback of choice for debugging: tracebacks surface directly
     and no subprocess machinery is involved. Honors ``FaultPolicy`` retries
-    and failure recording; the per-cell ``timeout`` is **not** enforced —
-    an inline cell cannot be preempted without a worker process, so a hung
-    cell hangs the run (use ``jobs >= 2`` for the watchdog).
+    and failure recording. When the policy sets a per-cell ``timeout``,
+    each attempt runs in a watchdog thread (:func:`_call_with_timeout`) and
+    is abandoned on expiry; without a timeout, attempts run truly inline so
+    debuggers and profilers see the plain call stack.
     """
 
     jobs = 1
@@ -244,27 +331,53 @@ class SerialDispatcher:
         policy: FaultPolicy | None = None,
     ) -> list[R]:
         policy = policy if policy is not None else FaultPolicy()
+        metrics = _DispatchMetrics.maybe()
         results: list[R] = []
         for index, item in enumerate(items):
             attempt_log: list[dict] = []
             while True:
+                entry: dict | None = None
+                failure: BaseException | None = None
+                if metrics is not None:
+                    metrics.inflight.inc()
+                attempt_start = time.perf_counter()
                 try:
-                    result: R = fn(item)
+                    if policy.timeout is not None:
+                        result: R = _call_with_timeout(fn, item, policy.timeout)
+                    else:
+                        result = fn(item)
+                except CellTimeoutError as exc:
+                    entry = _timeout_entry(policy.timeout or 0.0)
+                    failure = exc
+                    if metrics is not None:
+                        metrics.watchdog.inc()
                 except Exception as exc:
                     entry = _exception_entry(exc)
-                    entry["attempt"] = len(attempt_log) + 1
-                    attempt_log.append(entry)
-                    if len(attempt_log) <= policy.max_retries:
-                        delay = policy.backoff(len(attempt_log))
-                        if delay > 0:
-                            time.sleep(delay)
-                        continue
-                    if policy.on_failure == "record":
-                        result = FailedItem(index=index, attempts=attempt_log)  # type: ignore[assignment]
-                        break
-                    raise
+                    failure = exc
+                    if metrics is not None:
+                        metrics.cell_seconds.observe(time.perf_counter() - attempt_start)
                 else:
+                    if metrics is not None:
+                        metrics.cell_seconds.observe(time.perf_counter() - attempt_start)
+                finally:
+                    if metrics is not None:
+                        metrics.inflight.dec()
+                if entry is None:
                     break
+                entry["attempt"] = len(attempt_log) + 1
+                attempt_log.append(entry)
+                if len(attempt_log) <= policy.max_retries:
+                    delay = policy.backoff(len(attempt_log))
+                    if metrics is not None:
+                        metrics.retries.inc()
+                        metrics.backoff.inc(delay)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if policy.on_failure == "record":
+                    result = FailedItem(index=index, attempts=attempt_log)  # type: ignore[assignment]
+                    break
+                raise failure
             results.append(result)
             if on_result is not None:
                 on_result(index, result)
@@ -282,6 +395,7 @@ class _MapState:
     def __init__(self, count: int, policy: FaultPolicy, on_result: OnResult) -> None:
         self.policy = policy
         self.on_result = on_result
+        self.metrics = _DispatchMetrics.maybe()
         self.results: list = [None] * count
         self.done = [False] * count
         self.attempt_log: list[list[dict]] = [[] for _ in range(count)]
@@ -311,7 +425,11 @@ class _MapState:
         self.last_exc[index] = exc
         attempts = len(self.attempt_log[index])
         if attempts <= self.policy.max_retries:
-            self.not_before[index] = time.monotonic() + self.policy.backoff(attempts)
+            delay = self.policy.backoff(attempts)
+            self.not_before[index] = time.monotonic() + delay
+            if self.metrics is not None:
+                self.metrics.retries.inc()
+                self.metrics.backoff.inc(delay)
             self.ready.append(index)
             return
         if self.policy.on_failure == "record":
@@ -361,6 +479,8 @@ class ProcessPoolDispatcher:
                     executor.shutdown(wait=True)
                 else:
                     self._kill_pool(executor)
+        if state.metrics is not None:
+            state.metrics.inflight.set(0)
         return state.results
 
     # ------------------------------------------------------------ internals
@@ -399,12 +519,18 @@ class ProcessPoolDispatcher:
                         raise  # handled below: charge in-flight, rebuild
                     except Exception as exc:
                         inflight.pop(future)
-                        started.pop(index, None)
+                        begun = started.pop(index, None)
+                        if state.metrics is not None and begun is not None:
+                            state.metrics.cell_seconds.observe(time.monotonic() - begun)
                         state.fail(index, _exception_entry(exc), exc)
                     else:
                         inflight.pop(future)
-                        started.pop(index, None)
+                        begun = started.pop(index, None)
+                        if state.metrics is not None and begun is not None:
+                            state.metrics.cell_seconds.observe(time.monotonic() - begun)
                         state.succeed(index, result)
+                if state.metrics is not None:
+                    state.metrics.inflight.set(len(inflight))
                 if policy_timeout := state.policy.timeout:
                     if self._expire_timeouts(policy_timeout, state, inflight, started):
                         return False
@@ -412,7 +538,12 @@ class ProcessPoolDispatcher:
             # A worker died abruptly. Submission is throttled to one task
             # per worker, so every in-flight future was running in some
             # worker: salvage the ones that completed, charge the rest one
-            # crashed attempt each.
+            # crashed attempt each. Counted as ONE breakage event — the
+            # stdlib cannot say which cell killed the worker, and charging
+            # the metric per in-flight cell would over-report a single
+            # death by up to ``jobs``.
+            if state.metrics is not None:
+                state.metrics.crashes.inc()
             for future, index in list(inflight.items()):
                 if future.done():
                     try:
@@ -460,6 +591,8 @@ class ProcessPoolDispatcher:
             else:
                 still_gated.append(index)
         state.ready = still_gated
+        if state.metrics is not None:
+            state.metrics.inflight.set(len(inflight))
 
     def _tick(
         self, state: _MapState, inflight: dict[Future, int], started: dict[int, float]
@@ -506,6 +639,8 @@ class ProcessPoolDispatcher:
         for future, index in expired:
             inflight.pop(future)
             started.pop(index, None)
+            if state.metrics is not None:
+                state.metrics.watchdog.inc()
             state.fail(
                 index,
                 _timeout_entry(timeout),

@@ -23,18 +23,22 @@ fault-free aggregate CSVs byte-identical to their historical form.
 
 from __future__ import annotations
 
+import contextlib
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ..telemetry.progress import ProgressLine
+from ..telemetry.registry import MetricsRegistry, current_registry, use_registry
+from ..telemetry.snapshot import MetricsSnapshot
 from ..viz.csv_out import write_rows
 from ..viz.tables import format_table
 from .dispatch import FailedItem, FaultPolicy, make_dispatcher
 from .registry import validate_cell
-from .runner import ERROR_COLUMN, RESULT_COLUMNS, CellResult, execute_cell
+from .runner import ERROR_COLUMN, RESULT_COLUMNS, CellResult, MeteredCell, execute_cell
 from .spec import Cell, SweepSpec
-from .store import ResultsStore
+from .store import ResultsStore, provenance_stamp
 
 __all__ = ["SweepResult", "run_sweep"]
 
@@ -46,6 +50,10 @@ class SweepResult:
     spec: SweepSpec
     cells: list[Cell]
     results: list[CellResult]
+    #: Final aggregated telemetry of the run (parent-side counters plus the
+    #: worker snapshots merged in cell order), when the sweep ran with a
+    #: metrics registry; ``None`` otherwise.
+    metrics: MetricsSnapshot | None = field(default=None, compare=False)
 
     @property
     def executed(self) -> int:
@@ -120,6 +128,9 @@ def run_sweep(
     policy: FaultPolicy | None = None,
     retry_failed: bool = False,
     work_fn: Callable[[Cell], CellResult] | None = None,
+    durable: bool = True,
+    metrics: MetricsRegistry | None = None,
+    progress: bool = False,
 ) -> SweepResult:
     """Run every cell of ``spec``, in parallel and against the store.
 
@@ -132,9 +143,6 @@ def run_sweep(
         A :class:`ResultsStore` (or a path to create one at). Cells whose
         key is present are served from it; cells computed by this run are
         appended to it as they finish, making any interrupted run resumable.
-        A store created here from a path is opened ``durable`` (fsync per
-        appended cell — machine-crash-safe persistence; pass your own
-        :class:`ResultsStore` to opt out).
     force:
         Recompute every cell even on a store hit (fresh results overwrite
         the stored entries, failure records included).
@@ -153,48 +161,160 @@ def run_sweep(
         fault-injection harness (:mod:`repro.sweep.faults`) wraps to prove
         the recovery paths end to end; any replacement must be picklable
         and deterministic per cell.
+    durable:
+        Whether a store created here *from a path* opens with fsync-per-
+        append (machine-crash-safe persistence; on by default). Ignored
+        when ``store`` is already a :class:`ResultsStore` — that object's
+        own setting wins.
+    metrics:
+        A :class:`~repro.telemetry.MetricsRegistry` to aggregate the run's
+        telemetry into. Defaults to the ambient registry
+        (:func:`~repro.telemetry.current_registry`), i.e. telemetry stays
+        off unless a caller opts in. When active, workers collect per-cell
+        snapshots (:class:`~repro.sweep.runner.MeteredCell`) that merge
+        parent-side **in cell order**, so aggregated counters are
+        byte-identical at any ``jobs``; the final snapshot is returned as
+        :attr:`SweepResult.metrics`.
+    progress:
+        Emit a live progress line on stderr (cells done/total, failures,
+        retries, throughput, ETA), fed from the metrics registry — forced
+        on if no registry was supplied.
     """
+    registry = metrics if metrics is not None else current_registry()
+    if progress and registry is None:
+        registry = MetricsRegistry()
+    ambient = use_registry(registry) if registry is not None else contextlib.nullcontext()
+    with ambient:
+        return _run_sweep(
+            spec,
+            jobs=jobs,
+            store=store,
+            force=force,
+            policy=policy,
+            retry_failed=retry_failed,
+            work_fn=work_fn,
+            durable=durable,
+            registry=registry,
+            progress=progress,
+        )
+
+
+def _run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int,
+    store: ResultsStore | str | Path | None,
+    force: bool,
+    policy: FaultPolicy | None,
+    retry_failed: bool,
+    work_fn: Callable[[Cell], CellResult] | None,
+    durable: bool,
+    registry: MetricsRegistry | None,
+    progress: bool,
+) -> SweepResult:
+    """The body of :func:`run_sweep`, with the registry already ambient."""
     cells = spec.expand()
     for cell in cells:
         validate_cell(cell)
     if store is not None and not isinstance(store, ResultsStore):
-        store = ResultsStore(store, durable=True)
+        store = ResultsStore(store, durable=durable)
+
+    if registry is not None:
+        completed_count = registry.counter(
+            "repro_cells_completed_total", "Cells computed successfully by this run."
+        )
+        failed_count = registry.counter(
+            "repro_cells_failed_total",
+            "Cells that exhausted their retries in this run (fresh failure records).",
+        )
+        cached_count = registry.counter(
+            "repro_cells_cached_total",
+            "Cells served from the results store without recomputation.",
+        )
+        hit_count = registry.counter(
+            "repro_store_cache_hits_total",
+            "Store lookups served on resume (successes and failure records).",
+        )
+        miss_count = registry.counter(
+            "repro_store_cache_misses_total",
+            "Store lookups that missed on resume (cell had to be computed).",
+        )
+    progress_line = (
+        ProgressLine(len(cells), registry) if progress and registry is not None else None
+    )
 
     results: list[CellResult | None] = [None] * len(cells)
     pending: list[int] = []
     for index, cell in enumerate(cells):
         key = cell.key()
-        record = store.get(key) if store is not None and not force else None
+        consulted = store is not None and not force
+        record = store.get(key) if consulted else None
         if record is not None and "error" in record and retry_failed:
             record = None
         if record is None:
             pending.append(index)
-        elif "error" in record:
+            if registry is not None and consulted:
+                miss_count.inc()
+            continue
+        if registry is not None:
+            hit_count.inc()
+            cached_count.inc()
+        provenance = record.get("provenance") or {}
+        if "error" in record:
             results[index] = CellResult(
                 key=key, cell=record["cell"], payload={}, cached=True,
                 error=record["error"],
             )
         else:
             results[index] = CellResult(
-                key=key, cell=record["cell"], payload=record["payload"], cached=True
+                key=key, cell=record["cell"], payload=record["payload"], cached=True,
+                metrics=record.get("metrics"),
+                elapsed_s=provenance.get("elapsed_s"),
             )
+    if progress_line is not None:
+        progress_line.update(force=True)
 
     if pending:
         pending_cells = [cells[index] for index in pending]
 
-        def persist(pending_index: int, outcome: CellResult | FailedItem) -> None:
-            if store is None:
-                return
-            if isinstance(outcome, FailedItem):
-                cell = pending_cells[pending_index]
-                store.put(cell.key(), {"cell": cell.to_dict(), "error": outcome.to_record()})
-            else:
-                store.put(outcome.key, {"cell": outcome.cell, "payload": outcome.payload})
+        def collect(pending_index: int, outcome: CellResult | FailedItem) -> None:
+            """Completion-order hook: count, persist, repaint progress.
 
+            Persistence happens here (the moment a cell finishes) so an
+            interrupted run leaves every completed cell on disk; the
+            metric counts are parent-side and scheduling-independent
+            (one increment per finished cell, whatever order they land in).
+            """
+            failed = isinstance(outcome, FailedItem)
+            if registry is not None:
+                (failed_count if failed else completed_count).inc()
+            if store is not None:
+                if failed:
+                    cell = pending_cells[pending_index]
+                    store.put(
+                        cell.key(), {"cell": cell.to_dict(), "error": outcome.to_record()}
+                    )
+                else:
+                    record = {"cell": outcome.cell, "payload": outcome.payload}
+                    if outcome.metrics is not None:
+                        record["metrics"] = outcome.metrics
+                    if outcome.elapsed_s is not None:
+                        # Ride the provenance stamp: additive, so legacy
+                        # records (and readers) are untouched.
+                        stamp = provenance_stamp()
+                        stamp["elapsed_s"] = round(outcome.elapsed_s, 6)
+                        record["provenance"] = stamp
+                    store.put(outcome.key, record)
+            if progress_line is not None:
+                progress_line.update()
+
+        fn = work_fn if work_fn is not None else execute_cell
+        if registry is not None:
+            fn = MeteredCell(fn)
         computed = make_dispatcher(jobs).map(
-            work_fn if work_fn is not None else execute_cell,
+            fn,
             pending_cells,
-            on_result=persist,
+            on_result=collect,
             policy=policy,
         )
         for index, outcome in zip(pending, computed):
@@ -207,4 +327,17 @@ def run_sweep(
             else:
                 results[index] = outcome
 
-    return SweepResult(spec=spec, cells=cells, results=results)  # type: ignore[arg-type]
+        if registry is not None:
+            # Fold the worker-side snapshots in CANONICAL CELL ORDER — not
+            # the completion order they arrived in. Float sums are not
+            # associative, so a fixed merge order is what makes aggregated
+            # counters byte-identical between jobs=1 and jobs=N.
+            for index in pending:
+                outcome = results[index]
+                if outcome is not None and outcome.metrics:
+                    registry.merge_snapshot(MetricsSnapshot.from_dict(outcome.metrics))
+
+    if progress_line is not None:
+        progress_line.close()
+    snapshot = registry.snapshot() if registry is not None else None
+    return SweepResult(spec=spec, cells=cells, results=results, metrics=snapshot)  # type: ignore[arg-type]

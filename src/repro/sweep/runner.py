@@ -37,12 +37,14 @@ Three kinds ship built in (``cell.measure["kind"]``):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..core.engine import SynchronousEngine
+from ..telemetry.registry import MetricsRegistry, use_registry
 from ..core.rng import spawn_rngs
 from ..stats.summary import TimesSummary, describe_times
 from ..trace import (
@@ -65,6 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CellResult",
+    "MeteredCell",
     "execute_cell",
     "measure_kinds",
     "register_measure",
@@ -118,6 +121,14 @@ class CellResult:
     payload: dict
     cached: bool = field(default=False, compare=False)
     error: dict | None = None
+    #: Worker-side metrics snapshot (``MetricsSnapshot.to_dict()`` form),
+    #: attached by :class:`MeteredCell` when the sweep runs with telemetry;
+    #: ``None`` otherwise. Excluded from equality: two runs of one cell are
+    #: the same result regardless of how they were observed.
+    metrics: dict | None = field(default=None, compare=False)
+    #: Wall-clock seconds of the computing attempt; ``None`` on legacy
+    #: records and on failure records (their duration is censored).
+    elapsed_s: float | None = field(default=None, compare=False)
 
     @property
     def failed(self) -> bool:
@@ -186,6 +197,8 @@ class CellResult:
                     "error": f"{self.error.get('type')}: {self.error.get('message')}",
                 }
             )
+            if self.elapsed_s is not None:
+                row["elapsed_s"] = self.elapsed_s
             return row
         trials = self.cell["trials"]
         summary = self.time_summary()
@@ -197,7 +210,7 @@ class CellResult:
                 settle = float(np.mean(levels))
         else:
             successes = self.payload.get("successes", self.payload.get("reached", float("nan")))
-        return {
+        row = {
             "protocol": self.payload["protocol"],
             "init": self.payload["initializer"],
             "n": self.cell["n"],
@@ -213,6 +226,11 @@ class CellResult:
             "engine": self.payload["engine"],
             "error": "",
         }
+        # Present only when recorded (new runs / new-format store records):
+        # not a RESULT_COLUMN, so exported CSVs keep their exact legacy bytes.
+        if self.elapsed_s is not None:
+            row["elapsed_s"] = self.elapsed_s
+        return row
 
 
 # --------------------------------------------------------- measure registry
@@ -261,14 +279,52 @@ def execute_cell(cell: Cell) -> CellResult:
 
     Deterministic given the cell alone (the cell carries its derived seed),
     with no dependence on global state — safe to call from pool workers.
+    The measured wall-clock rides along as :attr:`CellResult.elapsed_s`
+    (persisted through the store's provenance stamp).
     """
     factory = protocol_factory(cell.protocol, cell.n)
     initializer = build_initializer(cell.initializer)
     kind = cell.measure["kind"]
     if kind not in _MEASURES:
         raise ValueError(f"unknown measure kind {cell.measure!r}")
+    start = time.perf_counter()
     payload = _MEASURES[kind][0](cell, factory, initializer)
-    return CellResult(key=cell.key(), cell=cell.to_dict(), payload=payload)
+    return CellResult(
+        key=cell.key(),
+        cell=cell.to_dict(),
+        payload=payload,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+class MeteredCell:
+    """Picklable work-function wrapper that collects per-cell telemetry.
+
+    Runs the wrapped function under a *fresh local* registry — in a pool
+    worker or inline — and attaches ``registry.snapshot().to_dict()`` to
+    the returned :class:`CellResult`. The snapshot rides back through the
+    dispatcher's ordered ``on_result`` seam like any other result field, so
+    the orchestrator can aggregate worker metrics deterministically without
+    shared memory. Attempts that raise (faults, timeouts) contribute no
+    snapshot: their partial counts die with the attempt, keeping aggregated
+    counters exactly reproducible across retry schedules.
+
+    Composes with other wrappers (e.g. the fault injector): whatever
+    ``fn(item)`` returns, only :class:`CellResult` values get annotated.
+    """
+
+    def __init__(self, fn: Callable[[Cell], CellResult] = execute_cell) -> None:
+        self.fn = fn
+
+    def __call__(self, cell: Cell) -> CellResult:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = self.fn(cell)
+        if isinstance(result, CellResult):
+            snapshot = registry.snapshot()
+            if snapshot.metrics:
+                result.metrics = snapshot.to_dict()
+        return result
 
 
 def _use_batched(cell: Cell, protocol) -> bool:

@@ -41,6 +41,8 @@ import platform
 from datetime import datetime, timezone
 from pathlib import Path
 
+from ..telemetry.registry import current_registry
+
 __all__ = ["ResultsStore", "provenance_stamp", "record_checksum"]
 
 
@@ -115,6 +117,13 @@ class ResultsStore:
                     # recomputes like any miss. (Legacy records without the
                     # field predate checksums and load unchanged.)
                     self.checksum_failures += 1
+                    metrics = current_registry()
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_store_checksum_failures_total",
+                            "Records refused at load because their checksum "
+                            "no longer matched their content.",
+                        ).inc()
                     continue
                 self._loaded_lines += 1
                 self._records[key] = record
@@ -155,6 +164,12 @@ class ResultsStore:
             handle.flush()
             if self.durable:
                 os.fsync(handle.fileno())
+        metrics = current_registry()
+        if metrics is not None:
+            metrics.counter(
+                "repro_store_appends_total",
+                "Result/failure records appended to the results store.",
+            ).inc()
 
     def compact(self) -> dict:
         """Rewrite the file keeping only the latest record per key.
@@ -209,6 +224,18 @@ class ResultsStore:
         self.corrupt_lines = 0
         self.checksum_failures = 0
         self._needs_newline = False
+        metrics = current_registry()
+        if metrics is not None:
+            help_text = "Store lines dropped by compaction, by reason."
+            for reason, dropped in (
+                ("superseded", summary["lines_before"] - summary["records"]),
+                ("corrupt", summary["corrupt_lines"]),
+                ("checksum", summary["checksum_failures"]),
+            ):
+                if dropped:
+                    metrics.counter(
+                        "repro_store_compact_dropped_total", help_text, reason=reason
+                    ).inc(dropped)
         return summary
 
     def keys(self) -> list[str]:

@@ -1,0 +1,56 @@
+"""Telemetry subsystem: metrics registry, Prometheus exposition, progress.
+
+Dependency-free observability for the whole stack. The pieces:
+
+* :class:`MetricsRegistry` — counters, gauges, histograms with labels and
+  a ``timer()`` span context manager; no locks, owned by one thread.
+* :func:`current_registry` / :func:`use_registry` — the ambient-registry
+  seam instrumented code reads. Telemetry is **off by default**:
+  ``current_registry()`` returns ``None`` and every probe site skips all
+  metric work, keeping hot paths at their uninstrumented speed.
+* :class:`MetricsSnapshot` — JSON-able by-value copy with an associative
+  ``merge()``; how worker processes ship metrics back through the sweep's
+  ordered ``on_result`` seam for deterministic parent-side aggregation.
+* :func:`render_prometheus` / :func:`validate_exposition` — Prometheus
+  text-format output (the substrate for ROADMAP item 2's ``/metrics``
+  endpoint) and the line-format checker the CI smoke test runs.
+* :class:`ProgressLine` — the ``repro sweep --progress`` live stderr line,
+  fed from the same registry.
+
+Quickstart::
+
+    from repro.telemetry import MetricsRegistry, render_prometheus, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        ...  # run instrumented code: engines, sweeps, stores
+    print(render_prometheus(registry))
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    use_registry,
+)
+from .snapshot import HistogramData, MetricsSnapshot
+from .exposition import render_prometheus, validate_exposition
+from .progress import ProgressLine
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ProgressLine",
+    "current_registry",
+    "render_prometheus",
+    "use_registry",
+    "validate_exposition",
+]

@@ -1,0 +1,142 @@
+"""Prometheus text exposition (version 0.0.4) rendering and checking.
+
+:func:`render_prometheus` turns a registry or snapshot into the plain-text
+format every Prometheus scraper understands — the same bytes a future
+``/metrics`` endpoint (ROADMAP item 2) will serve. The inverse direction,
+:func:`validate_exposition`, is a deliberately small line-format checker
+used by the CI smoke test to fail fast on format regressions; it is not a
+full PromQL-side parser.
+
+Output is deterministic: families sorted by name, series sorted by label
+set, labels sorted by key. Two registries holding equal values render to
+identical bytes regardless of insertion order.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Union
+
+from .registry import MetricsRegistry
+from .snapshot import HistogramData, MetricsSnapshot
+
+__all__ = ["render_prometheus", "validate_exposition"]
+
+_LABEL_ESCAPES = {"\\": r"\\", '"': r"\"", "\n": r"\n"}
+_HELP_ESCAPES = {"\\": r"\\", "\n": r"\n"}
+
+
+def _escape(text: str, table: dict[str, str]) -> str:
+    return "".join(table.get(ch, ch) for ch in text)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer() and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _format_labels(pairs: tuple[tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape(str(value), _LABEL_ESCAPES)}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(source: Union[MetricsRegistry, MetricsSnapshot]) -> str:
+    """Render a registry or snapshot as Prometheus text format."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: list[str] = []
+    for name in sorted(snapshot.metrics):
+        metric = snapshot.metrics[name]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {_escape(metric['help'], _HELP_ESCAPES)}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        for key in sorted(metric["series"]):
+            data = metric["series"][key]
+            if isinstance(data, HistogramData):
+                bounds = metric.get("buckets") or []
+                cumulative = 0
+                for bound, bucket in zip(bounds, data.counts):
+                    cumulative += bucket
+                    le = key + (("le", _format_value(float(bound))),)
+                    lines.append(
+                        f"{name}_bucket{_format_labels(le)} {cumulative}"
+                    )
+                cumulative += data.counts[-1]
+                inf_key = key + (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_format_labels(inf_key)} {cumulative}")
+                lines.append(f"{name}_sum{_format_labels(key)} {_format_value(data.sum)}")
+                lines.append(f"{name}_count{_format_labels(key)} {data.count}")
+            else:
+                lines.append(f"{name}{_format_labels(key)} {_format_value(data)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- line-format checker (CI smoke) --------------------------------------
+
+_HELP_LINE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$")
+_TYPE_LINE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"
+    r" (NaN|[+-]Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$"
+)
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def validate_exposition(text: str) -> int:
+    """Check Prometheus text-format line structure; return the sample count.
+
+    Raises :class:`ValueError` (with the offending line number) on a
+    malformed line, an unparseable value, or a sample whose family has no
+    preceding ``# TYPE`` declaration.
+    """
+    types: dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if _HELP_LINE.match(line):
+                continue
+            match = _TYPE_LINE.match(line)
+            if match:
+                name, kind = match.group(1), match.group(2)
+                if name in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+                types[name] = kind
+                continue
+            raise ValueError(f"line {lineno}: malformed comment line: {line!r}")
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        name = match.group(1)
+        if name not in types:
+            base = next(
+                (
+                    name[: -len(suffix)]
+                    for suffix in _HISTOGRAM_SUFFIXES
+                    if name.endswith(suffix)
+                    and types.get(name[: -len(suffix)]) in ("histogram", "summary")
+                ),
+                None,
+            )
+            if base is None:
+                raise ValueError(
+                    f"line {lineno}: sample {name!r} has no preceding # TYPE"
+                )
+        samples += 1
+    return samples

@@ -1,0 +1,99 @@
+"""Live one-line sweep progress, fed from a :class:`MetricsRegistry`.
+
+The progress line is a *reader* of the same registry the orchestrator and
+dispatchers write into — it owns no state of its own beyond pacing, so it
+can never disagree with ``--metrics-out``. On a TTY it redraws in place
+with carriage returns; under a pipe (CI logs) it emits plain newline-
+terminated lines, rate-limited so a long sweep does not flood the log.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from .registry import MetricsRegistry
+
+__all__ = ["ProgressLine"]
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = int(seconds + 0.5)
+    hours, rem = divmod(seconds, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+class ProgressLine:
+    """Renders sweep progress (done/total, failures, retries, rate, ETA)."""
+
+    def __init__(
+        self,
+        total: int,
+        registry: MetricsRegistry,
+        stream: TextIO | None = None,
+        min_interval: float = 0.25,
+    ) -> None:
+        self._total = total
+        self._registry = registry
+        self._stream = sys.stderr if stream is None else stream
+        try:
+            self._tty = bool(self._stream.isatty())
+        except (AttributeError, ValueError):
+            self._tty = False
+        self._min_interval = min_interval
+        self._start = time.monotonic()
+        self._last_emit = 0.0
+        self._last_width = 0
+
+    def render(self, now: float | None = None) -> str:
+        """The current progress text (no trailing newline)."""
+        if now is None:
+            now = time.monotonic()
+        reg = self._registry
+        completed = reg.total("repro_cells_completed_total")
+        failed = reg.total("repro_cells_failed_total")
+        cached = reg.total("repro_cells_cached_total")
+        retries = reg.total("repro_sweep_retries_total")
+        done = int(completed + failed + cached)
+        executed = completed + failed
+        elapsed = max(now - self._start, 1e-9)
+        parts = [f"sweep {done}/{self._total} cells"]
+        if cached:
+            parts.append(f"{int(cached)} cached")
+        parts.append(f"{int(failed)} failed")
+        if retries:
+            parts.append(f"{int(retries)} retries")
+        rate = executed / elapsed
+        parts.append(f"{rate:.1f} cells/s")
+        remaining = self._total - done
+        if remaining <= 0:
+            parts.append(f"done in {_format_eta(elapsed)}")
+        elif rate > 0:
+            parts.append(f"eta {_format_eta(remaining / rate)}")
+        else:
+            parts.append("eta --")
+        return " | ".join(parts)
+
+    def update(self, force: bool = False) -> None:
+        """Emit the line if the rate limit allows (or ``force`` is set)."""
+        now = time.monotonic()
+        if not force and now - self._last_emit < self._min_interval:
+            return
+        self._last_emit = now
+        line = self.render(now)
+        if self._tty:
+            padded = line.ljust(self._last_width)
+            self._last_width = len(line)
+            self._stream.write("\r" + padded)
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Final forced emit; terminates the in-place line on a TTY."""
+        self.update(force=True)
+        if self._tty:
+            self._stream.write("\n")
+            self._stream.flush()

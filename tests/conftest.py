@@ -55,3 +55,8 @@ def pytest_configure(config):
         "timeout(seconds): per-test wall-clock budget (enforced when the "
         "pytest-timeout plugin is installed, as in CI)",
     )
+    config.addinivalue_line(
+        "markers",
+        "metrics_smoke: end-to-end telemetry smoke (CI runs these "
+        "separately with `pytest -m metrics_smoke` after the demo sweep)",
+    )
