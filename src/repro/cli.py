@@ -14,6 +14,11 @@ Small, dependency-free front door for the library's main entry points:
   counters in Prometheus text exposition format.
 * ``trace``  — record per-replica trajectories of a batched run (full,
   strided, or ring-buffered), chart the reduced curve, and export CSV.
+* ``timeline`` — render a per-worker timeline (ASCII or JSON lanes) from
+  a Chrome trace JSON written by ``sweep --trace-out``.
+* ``serve-metrics`` — stdlib HTTP observability endpoint serving
+  ``/metrics`` (Prometheus exposition), ``/healthz`` and ``/progress``;
+  ``sweep --metrics-port`` exposes the same surface on a *live* run.
 
 Each command accepts ``--seed`` and prints plain text; exit code 0 on
 success. The heavy, assertion-carrying versions of these experiments live in
@@ -27,6 +32,7 @@ import json
 import math
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -53,7 +59,18 @@ from .sweep import (
     protocol_names,
     run_sweep,
 )
-from .telemetry import MetricsRegistry, render_prometheus
+from .telemetry import (
+    EventLog,
+    MetricsRegistry,
+    MetricsSnapshot,
+    ObservabilityServer,
+    SpanTracer,
+    render_prometheus,
+    render_timeline,
+    timeline_lanes,
+    write_chrome_trace,
+    write_events_jsonl,
+)
 from .trace import make_recorder, settle_rounds
 from .viz.ascii_grid import render_batch_trace, render_domain_map, render_trajectory
 from .viz.csv_out import write_trace_csv
@@ -179,6 +196,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(give a .json path to swap which gets the sibling suffix)",
     )
     sweep_cmd.add_argument(
+        "--events-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the run's structured event log here as JSON lines "
+        "(retries, backoff, crashes, watchdog expiries, cache hits, store appends)",
+    )
+    sweep_cmd.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the run's merged span timeline here as Chrome trace-event "
+        "JSON (load in Perfetto / chrome://tracing, or render with 'repro timeline')",
+    )
+    sweep_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /progress over HTTP for the "
+        "duration of the run so it can be scraped live (0 picks a free port)",
+    )
+    sweep_cmd.add_argument(
         "--list",
         action="store_true",
         dest="list_components",
@@ -206,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the exposition here instead of stdout (a .json sibling "
         "with the raw snapshot rides along)",
+    )
+    metrics_cmd.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line on stderr while the grid runs "
+        "(same rendering as 'sweep --progress')",
     )
 
     trace_cmd = sub.add_parser(
@@ -255,6 +302,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-replica statistic for the chart (default mean)",
     )
     trace_cmd.add_argument("--out", type=str, default=None, help="write the long-form trace CSV here")
+
+    timeline_cmd = sub.add_parser(
+        "timeline", help="render a per-worker timeline from a sweep's Chrome trace JSON"
+    )
+    timeline_cmd.add_argument(
+        "trace", type=str, help="trace JSON written by 'repro sweep --trace-out'"
+    )
+    timeline_cmd.add_argument(
+        "--width", type=int, default=100, help="chart width in columns (default 100)"
+    )
+    timeline_cmd.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the lane structure as JSON instead of the ASCII chart",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics, /healthz and /progress over HTTP (stdlib, dependency-free)",
+    )
+    serve_cmd.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=9464, help="port to bind (default 9464; 0 picks a free port)"
+    )
+    serve_cmd.add_argument(
+        "--snapshot",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="serve a recorded metrics snapshot (the .json written by "
+        "--metrics-out / 'repro metrics --out') instead of an empty registry",
+    )
+    serve_cmd.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long and exit 0 (default: serve until interrupted)",
+    )
 
     compare = sub.add_parser("compare", help="FET vs baselines from the all-wrong start")
     compare.add_argument("-n", type=int, default=1000, help="population size (default 1000)")
@@ -444,17 +533,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
     registry = MetricsRegistry() if args.metrics_out else None
-    result = run_sweep(
-        spec,
-        jobs=args.jobs,
-        store=args.store,
-        force=args.force,
-        policy=policy,
-        retry_failed=args.retry_failed,
-        durable=args.durable,
-        metrics=registry,
-        progress=args.progress,
-    )
+    tracer = SpanTracer() if args.trace_out else None
+    events = EventLog() if args.events_out else None
+    server = None
+    if args.metrics_port is not None:
+        if args.metrics_port < 0:
+            print(f"error: --metrics-port must be >= 0, got {args.metrics_port}",
+                  file=sys.stderr)
+            return 2
+        # Started here (not by the orchestrator) so the bound port prints
+        # before any cell executes — a scraper can attach from round one.
+        server = ObservabilityServer(port=args.metrics_port)
+        port = server.start()
+        print(f"serving observability on http://127.0.0.1:{port} "
+              "(/metrics /healthz /progress)", flush=True)
+    try:
+        result = run_sweep(
+            spec,
+            jobs=args.jobs,
+            store=args.store,
+            force=args.force,
+            policy=policy,
+            retry_failed=args.retry_failed,
+            durable=args.durable,
+            metrics=registry,
+            progress=args.progress,
+            tracer=tracer,
+            events=events,
+            serve=server,
+        )
+    finally:
+        if server is not None:
+            server.stop()
     print(f"sweep {spec.name!r}: {len(result.cells)} cells, jobs={args.jobs}")
     print(result.table())
     summary = f"\nexecuted {result.executed} cell(s), {result.cached} served from store"
@@ -469,13 +579,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.metrics_out and result.metrics is not None:
         prom_path, json_path = _write_metrics(result.metrics, args.metrics_out)
         print(f"wrote {prom_path} and {json_path}")
+    if args.events_out:
+        path = write_events_jsonl(args.events_out, result.events or [])
+        print(f"wrote {path} ({len(result.events or [])} event(s))")
+    if args.trace_out:
+        path = write_chrome_trace(args.trace_out, result.spans, result.events or [])
+        print(f"wrote {path} (load in Perfetto, or run: repro timeline {path})")
     return 1 if result.failed else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec) if args.spec else fet_demo_spec(args.seed)
     registry = MetricsRegistry()
-    result = run_sweep(spec, jobs=args.jobs, metrics=registry)
+    result = run_sweep(spec, jobs=args.jobs, metrics=registry, progress=args.progress)
     assert result.metrics is not None
     if args.out:
         prom_path, json_path = _write_metrics(result.metrics, args.out)
@@ -485,13 +601,78 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 1 if result.failed else 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    try:
+        trace = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        print(
+            f"error: {args.trace!r} is not a Chrome trace JSON "
+            "(expected a top-level 'traceEvents' list; "
+            "write one with 'repro sweep --trace-out')",
+            file=sys.stderr,
+        )
+        return 2
+    if args.as_json:
+        print(json.dumps(timeline_lanes(trace), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_timeline(trace, width=args.width))
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    if args.snapshot:
+        try:
+            payload = json.loads(Path(args.snapshot).read_text(encoding="utf-8"))
+            registry.merge_snapshot(MetricsSnapshot.from_dict(payload))
+        except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+            print(f"error: cannot load snapshot {args.snapshot!r}: {exc}", file=sys.stderr)
+            return 2
+    started = time.monotonic()
+    uptime = registry.gauge(
+        "repro_process_uptime_seconds", "Seconds since serve-metrics started."
+    )
+    server = ObservabilityServer(
+        host=args.host,
+        port=args.port,
+        registry=registry,
+        refresh=lambda: uptime.set(round(time.monotonic() - started, 3)),
+    )
+    try:
+        port = server.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serving metrics on http://{args.host}:{port}/metrics "
+        "(also /healthz and /progress; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        if args.for_seconds is not None:
+            time.sleep(max(args.for_seconds, 0.0))
+        else:
+            while True:  # pragma: no cover - interactive foreground mode
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "map": _cmd_map,
     "scale": _cmd_scale,
     "compare": _cmd_compare,
     "metrics": _cmd_metrics,
+    "serve-metrics": _cmd_serve_metrics,
     "sweep": _cmd_sweep,
+    "timeline": _cmd_timeline,
     "trace": _cmd_trace,
 }
 

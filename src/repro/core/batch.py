@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from ..telemetry.registry import current_registry
+from ..telemetry.spans import span
 from .population import PopulationState
 from .protocol import Protocol, ProtocolState
 from .rng import as_rng
@@ -449,6 +450,24 @@ class BatchedEngine:
         fresh engine (or use the sequential engine, whose ``run`` can be
         re-entered) to continue simulating.
         """
+        with span("engine.run", engine="batched"):
+            return self._run(
+                max_rounds,
+                stability_rounds=stability_rounds,
+                stop_condition=stop_condition,
+                recorder=recorder,
+                linger_rounds=linger_rounds,
+            )
+
+    def _run(
+        self,
+        max_rounds: int,
+        *,
+        stability_rounds: int,
+        stop_condition: Callable[[BatchedPopulation], np.ndarray] | None,
+        recorder: "TraceRecorder | None",
+        linger_rounds: int,
+    ) -> BatchRunResult:
         if self._consumed:
             raise RuntimeError(
                 "BatchedEngine.run is single-shot; build a fresh engine to run again"

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..telemetry.registry import current_registry
+from ..telemetry.spans import span
 from .population import PopulationState
 from .protocol import Protocol, ProtocolState
 from .records import RoundRecord, RunResult
@@ -114,6 +115,24 @@ class SynchronousEngine:
         shape the batched engine produces, which is what the
         batched-vs-sequential trace cross-checks compare.
         """
+        with span("engine.run", engine="sequential"):
+            return self._run(
+                max_rounds,
+                stability_rounds=stability_rounds,
+                record_flips=record_flips,
+                stop_condition=stop_condition,
+                recorder=recorder,
+            )
+
+    def _run(
+        self,
+        max_rounds: int,
+        *,
+        stability_rounds: int,
+        record_flips: bool,
+        stop_condition: Callable[[PopulationState], bool] | None,
+        recorder: "TraceRecorder | None",
+    ) -> RunResult:
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
         if stability_rounds < 1:

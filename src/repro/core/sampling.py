@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..telemetry.registry import MetricsRegistry, current_registry
+from ..telemetry.spans import span
 from .population import PopulationState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -467,6 +468,18 @@ def batched_binomial_counts(
       simulation decisively faster than per-trial loops — the draw itself
       gets cheaper, not just the Python overhead.
     """
+    with span("draw_tier", method=method):
+        return _batched_binomial_counts(rng, ell, x, blocks, n, method)
+
+
+def _batched_binomial_counts(
+    rng: np.random.Generator,
+    ell: int,
+    x: np.ndarray,
+    blocks: int,
+    n: int,
+    method: str,
+) -> np.ndarray:
     if ell < 0:
         raise ValueError(f"ell must be non-negative, got {ell}")
     if blocks < 0:

@@ -34,7 +34,11 @@ a cell misbehaves. Three failure modes are survived on the pool path:
 Both dispatchers report retries, backoff, crashes, watchdog expiries, an
 in-flight gauge, and per-attempt wall-clock into the ambient
 :mod:`repro.telemetry` registry when one is installed; with telemetry off
-(the default) the probes reduce to one ``None`` check per ``map``.
+(the default) the probes reduce to one ``None`` check per ``map``. The
+same fault paths additionally emit structured events (``sweep.retry``,
+``sweep.backoff``, ``sweep.worker_crash``, ``sweep.watchdog_expired``)
+onto the ambient event log when one is installed — the ordered "what
+happened" record behind ``--events-out``.
 
 Because retried work functions are deterministic per item (sweep cells
 carry their own derived seeds), a retry recomputes exactly the result the
@@ -68,6 +72,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
+from ..telemetry.events import emit_event
 from ..telemetry.registry import MetricsRegistry, current_registry
 
 __all__ = [
@@ -351,6 +356,9 @@ class SerialDispatcher:
                     failure = exc
                     if metrics is not None:
                         metrics.watchdog.inc()
+                    emit_event(
+                        "sweep.watchdog_expired", item=index, timeout_s=policy.timeout
+                    )
                 except Exception as exc:
                     entry = _exception_entry(exc)
                     failure = exc
@@ -371,7 +379,15 @@ class SerialDispatcher:
                     if metrics is not None:
                         metrics.retries.inc()
                         metrics.backoff.inc(delay)
+                    emit_event(
+                        "sweep.retry",
+                        item=index,
+                        attempt=len(attempt_log),
+                        error=entry["type"],
+                        delay_s=round(delay, 6),
+                    )
                     if delay > 0:
+                        emit_event("sweep.backoff", item=index, delay_s=round(delay, 6))
                         time.sleep(delay)
                     continue
                 if policy.on_failure == "record":
@@ -430,6 +446,15 @@ class _MapState:
             if self.metrics is not None:
                 self.metrics.retries.inc()
                 self.metrics.backoff.inc(delay)
+            emit_event(
+                "sweep.retry",
+                item=index,
+                attempt=attempts,
+                error=entry["type"],
+                delay_s=round(delay, 6),
+            )
+            if delay > 0:
+                emit_event("sweep.backoff", item=index, delay_s=round(delay, 6))
             self.ready.append(index)
             return
         if self.policy.on_failure == "record":
@@ -544,6 +569,7 @@ class ProcessPoolDispatcher:
             # death by up to ``jobs``.
             if state.metrics is not None:
                 state.metrics.crashes.inc()
+            emit_event("sweep.worker_crash", inflight=len(inflight))
             for future, index in list(inflight.items()):
                 if future.done():
                     try:
@@ -641,6 +667,7 @@ class ProcessPoolDispatcher:
             started.pop(index, None)
             if state.metrics is not None:
                 state.metrics.watchdog.inc()
+            emit_event("sweep.watchdog_expired", item=index, timeout_s=timeout)
             state.fail(
                 index,
                 _timeout_entry(timeout),

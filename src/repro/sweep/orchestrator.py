@@ -23,15 +23,17 @@ fault-free aggregate CSVs byte-identical to their historical form.
 
 from __future__ import annotations
 
-import contextlib
 import math
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from ..telemetry.events import EventLog, current_event_log, use_event_log
 from ..telemetry.progress import ProgressLine
 from ..telemetry.registry import MetricsRegistry, current_registry, use_registry
 from ..telemetry.snapshot import MetricsSnapshot
+from ..telemetry.spans import SpanLog, SpanTracer, current_tracer, use_tracer
 from ..viz.csv_out import write_rows
 from ..viz.tables import format_table
 from .dispatch import FailedItem, FaultPolicy, make_dispatcher
@@ -39,6 +41,9 @@ from .registry import validate_cell
 from .runner import ERROR_COLUMN, RESULT_COLUMNS, CellResult, MeteredCell, execute_cell
 from .spec import Cell, SweepSpec
 from .store import ResultsStore, provenance_stamp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.server import ObservabilityServer
 
 __all__ = ["SweepResult", "run_sweep"]
 
@@ -54,6 +59,14 @@ class SweepResult:
     #: worker snapshots merged in cell order), when the sweep ran with a
     #: metrics registry; ``None`` otherwise.
     metrics: MetricsSnapshot | None = field(default=None, compare=False)
+    #: Merged span log (the parent's ``sweep`` span with every executed
+    #: cell's worker spans grafted under it in canonical cell order), when
+    #: the sweep ran with a tracer; ``None`` otherwise.
+    spans: SpanLog | None = field(default=None, compare=False)
+    #: Merged structured events (parent-side dispatch/store events followed
+    #: by worker cell events absorbed in canonical cell order), when the
+    #: sweep ran with an event log; ``None`` otherwise.
+    events: list[dict] | None = field(default=None, compare=False)
 
     @property
     def executed(self) -> int:
@@ -131,6 +144,9 @@ def run_sweep(
     durable: bool = True,
     metrics: MetricsRegistry | None = None,
     progress: bool = False,
+    tracer: SpanTracer | None = None,
+    events: EventLog | None = None,
+    serve: "ObservabilityServer | None" = None,
 ) -> SweepResult:
     """Run every cell of ``spec``, in parallel and against the store.
 
@@ -179,12 +195,43 @@ def run_sweep(
         Emit a live progress line on stderr (cells done/total, failures,
         retries, throughput, ETA), fed from the metrics registry — forced
         on if no registry was supplied.
+    tracer:
+        A :class:`~repro.telemetry.SpanTracer` to record the sweep's span
+        timeline into. Defaults to the ambient tracer
+        (:func:`~repro.telemetry.current_tracer`), i.e. tracing stays off
+        unless a caller opts in. When active, workers record per-cell span
+        logs (``cell > engine.run > draw_tier``) that graft under the
+        parent's ``sweep`` span **in cell order** — the merged timeline on
+        :attr:`SweepResult.spans` has the same span tree at any ``jobs``.
+    events:
+        An :class:`~repro.telemetry.EventLog` to record structured events
+        into (retries, backoff, crashes, watchdog expiries, cache hits,
+        store appends). Defaults to the ambient log
+        (:func:`~repro.telemetry.current_event_log`). Worker cell events
+        are absorbed in cell order; the merged list is returned as
+        :attr:`SweepResult.events`.
+    serve:
+        An :class:`~repro.telemetry.ObservabilityServer` to expose the
+        *live* run on: the orchestrator attaches its registry and progress
+        stats and starts the server (if not already running) before any
+        cell executes, so ``/metrics`` and ``/progress`` can be scraped
+        mid-sweep. The caller owns the server's lifetime; the orchestrator
+        never stops it. Forces a registry on like ``progress`` does.
     """
     registry = metrics if metrics is not None else current_registry()
-    if progress and registry is None:
+    if (progress or serve is not None) and registry is None:
         registry = MetricsRegistry()
-    ambient = use_registry(registry) if registry is not None else contextlib.nullcontext()
-    with ambient:
+    if tracer is None:
+        tracer = current_tracer()
+    if events is None:
+        events = current_event_log()
+    with ExitStack() as ambient:
+        if registry is not None:
+            ambient.enter_context(use_registry(registry))
+        if tracer is not None:
+            ambient.enter_context(use_tracer(tracer))
+        if events is not None:
+            ambient.enter_context(use_event_log(events))
         return _run_sweep(
             spec,
             jobs=jobs,
@@ -196,6 +243,9 @@ def run_sweep(
             durable=durable,
             registry=registry,
             progress=progress,
+            tracer=tracer,
+            events=events,
+            serve=serve,
         )
 
 
@@ -211,8 +261,68 @@ def _run_sweep(
     durable: bool,
     registry: MetricsRegistry | None,
     progress: bool,
+    tracer: SpanTracer | None,
+    events: EventLog | None,
+    serve: "ObservabilityServer | None",
 ) -> SweepResult:
-    """The body of :func:`run_sweep`, with the registry already ambient."""
+    """The body of :func:`run_sweep`, with the observability state ambient."""
+    sweep_span = tracer.span("sweep", spec=spec.name) if tracer is not None else None
+    if sweep_span is not None:
+        sweep_span.__enter__()
+    try:
+        result = _run_sweep_traced(
+            spec,
+            jobs=jobs,
+            store=store,
+            force=force,
+            policy=policy,
+            retry_failed=retry_failed,
+            work_fn=work_fn,
+            durable=durable,
+            registry=registry,
+            progress=progress,
+            tracer=tracer,
+            events=events,
+            serve=serve,
+        )
+    finally:
+        if sweep_span is not None:
+            sweep_span.__exit__(None, None, None)
+    # Merge worker observability AFTER the sweep span closes (so its
+    # duration is final), grafting/absorbing in CANONICAL CELL ORDER — the
+    # same fixed-order discipline as the metrics merge below, which is what
+    # makes the merged timeline structurally identical at any `jobs`.
+    if tracer is not None:
+        span_log = tracer.snapshot()
+        root = sweep_span.index if sweep_span is not None and sweep_span.index is not None else -1
+        for cell_result in result.results:
+            if cell_result is not None and cell_result.spans:
+                span_log.graft(SpanLog.from_dict(cell_result.spans), parent=root)
+        result.spans = span_log
+    if events is not None:
+        for cell_result in result.results:
+            if cell_result is not None and cell_result.events:
+                events.absorb(cell_result.events)
+        result.events = events.events()
+    return result
+
+
+def _run_sweep_traced(
+    spec: SweepSpec,
+    *,
+    jobs: int,
+    store: ResultsStore | str | Path | None,
+    force: bool,
+    policy: FaultPolicy | None,
+    retry_failed: bool,
+    work_fn: Callable[[Cell], CellResult] | None,
+    durable: bool,
+    registry: MetricsRegistry | None,
+    progress: bool,
+    tracer: SpanTracer | None,
+    events: EventLog | None,
+    serve: "ObservabilityServer | None",
+) -> SweepResult:
     cells = spec.expand()
     for cell in cells:
         validate_cell(cell)
@@ -239,9 +349,24 @@ def _run_sweep(
             "repro_store_cache_misses_total",
             "Store lookups that missed on resume (cell had to be computed).",
         )
-    progress_line = (
-        ProgressLine(len(cells), registry) if progress and registry is not None else None
+    if registry is not None:
+        registry.gauge(
+            "repro_sweep_cells_total", "Cells in the sweep grid being run."
+        ).set(float(len(cells)))
+    tracker = (
+        ProgressLine(len(cells), registry)
+        if registry is not None and (progress or serve is not None)
+        else None
     )
+    # The tracker doubles as the /progress JSON source when serving; it only
+    # paints stderr when --progress asked for it.
+    progress_line = tracker if progress else None
+    if serve is not None:
+        serve.attach(
+            registry=registry,
+            progress=tracker.stats if tracker is not None else None,
+        )
+        serve.start()
 
     results: list[CellResult | None] = [None] * len(cells)
     pending: list[int] = []
@@ -259,6 +384,8 @@ def _run_sweep(
         if registry is not None:
             hit_count.inc()
             cached_count.inc()
+        if events is not None:
+            events.emit("store.cache_hit", key=key, failed="error" in record)
         provenance = record.get("provenance") or {}
         if "error" in record:
             results[index] = CellResult(
@@ -309,14 +436,31 @@ def _run_sweep(
                 progress_line.update()
 
         fn = work_fn if work_fn is not None else execute_cell
-        if registry is not None:
-            fn = MeteredCell(fn)
-        computed = make_dispatcher(jobs).map(
-            fn,
-            pending_cells,
-            on_result=collect,
-            policy=policy,
-        )
+        if registry is not None or tracer is not None or events is not None:
+            fn = MeteredCell(
+                fn,
+                metrics=registry is not None,
+                spans=tracer is not None,
+                events=events is not None,
+            )
+        if tracker is not None:
+            # Rate/ETA measure executed cells only: start the rate clock
+            # here, after cache serving, so a mostly-cached resume does not
+            # report instantly-served hits as throughput.
+            tracker.begin_execution()
+        dispatch_span = tracer.span("dispatch") if tracer is not None else None
+        if dispatch_span is not None:
+            dispatch_span.__enter__()
+        try:
+            computed = make_dispatcher(jobs).map(
+                fn,
+                pending_cells,
+                on_result=collect,
+                policy=policy,
+            )
+        finally:
+            if dispatch_span is not None:
+                dispatch_span.__exit__(None, None, None)
         for index, outcome in zip(pending, computed):
             if isinstance(outcome, FailedItem):
                 cell = cells[index]

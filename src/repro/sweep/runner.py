@@ -38,13 +38,16 @@ Three kinds ship built in (``cell.measure["kind"]``):
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..core.engine import SynchronousEngine
+from ..telemetry.events import EventLog, use_event_log
 from ..telemetry.registry import MetricsRegistry, use_registry
+from ..telemetry.spans import SpanTracer, use_tracer
 from ..core.rng import spawn_rngs
 from ..stats.summary import TimesSummary, describe_times
 from ..trace import (
@@ -129,6 +132,15 @@ class CellResult:
     #: Wall-clock seconds of the computing attempt; ``None`` on legacy
     #: records and on failure records (their duration is censored).
     elapsed_s: float | None = field(default=None, compare=False)
+    #: Worker-side span log (``SpanLog.to_dict()`` form), attached by
+    #: :class:`MeteredCell` when the sweep runs with tracing; ``None``
+    #: otherwise. Like ``metrics``, excluded from equality and not
+    #: persisted to the store (a cached cell was not executed, so it has
+    #: no timeline).
+    spans: dict | None = field(default=None, compare=False)
+    #: Worker-side structured events (plain dict list), attached by
+    #: :class:`MeteredCell` when the sweep runs with event logging.
+    events: list | None = field(default=None, compare=False)
 
     @property
     def failed(self) -> bool:
@@ -300,30 +312,74 @@ def execute_cell(cell: Cell) -> CellResult:
 class MeteredCell:
     """Picklable work-function wrapper that collects per-cell telemetry.
 
-    Runs the wrapped function under a *fresh local* registry — in a pool
-    worker or inline — and attaches ``registry.snapshot().to_dict()`` to
-    the returned :class:`CellResult`. The snapshot rides back through the
-    dispatcher's ordered ``on_result`` seam like any other result field, so
-    the orchestrator can aggregate worker metrics deterministically without
-    shared memory. Attempts that raise (faults, timeouts) contribute no
-    snapshot: their partial counts die with the attempt, keeping aggregated
-    counters exactly reproducible across retry schedules.
+    Runs the wrapped function under *fresh local* observability state — in
+    a pool worker or inline — and attaches by-value snapshots to the
+    returned :class:`CellResult`: ``registry.snapshot().to_dict()`` on
+    ``metrics`` (when ``metrics=True``, the default), a
+    ``SpanLog.to_dict()`` on ``spans`` (when ``spans=True``; the cell's
+    work runs under a root ``cell`` span labelled with protocol/n/key),
+    and the event list on ``events`` (when ``events=True``). Snapshots
+    ride back through the dispatcher's ordered ``on_result`` seam like any
+    other result field, so the orchestrator can aggregate worker telemetry
+    deterministically without shared memory. Attempts that raise (faults,
+    timeouts) contribute no snapshot: their partial counts die with the
+    attempt, keeping aggregated counters exactly reproducible across retry
+    schedules.
+
+    The flags are plain constructor state (not ambient reads) because
+    ContextVars do not cross process boundaries — the wrapper pickles into
+    pool workers carrying its configuration with it.
 
     Composes with other wrappers (e.g. the fault injector): whatever
     ``fn(item)`` returns, only :class:`CellResult` values get annotated.
     """
 
-    def __init__(self, fn: Callable[[Cell], CellResult] = execute_cell) -> None:
+    def __init__(
+        self,
+        fn: Callable[[Cell], CellResult] = execute_cell,
+        *,
+        metrics: bool = True,
+        spans: bool = False,
+        events: bool = False,
+    ) -> None:
         self.fn = fn
+        self.metrics = metrics
+        self.spans = spans
+        self.events = events
+
+    @staticmethod
+    def _cell_labels(cell) -> dict:
+        try:
+            return {
+                "protocol": cell.protocol["name"],
+                "n": cell.n,
+                "key": cell.key()[:12],
+            }
+        except Exception:
+            return {}  # arbitrary work items (tests map over ints) get a bare span
 
     def __call__(self, cell: Cell) -> CellResult:
-        registry = MetricsRegistry()
-        with use_registry(registry):
+        registry = MetricsRegistry() if self.metrics else None
+        tracer = SpanTracer() if self.spans else None
+        log = EventLog() if self.events else None
+        with ExitStack() as stack:
+            if registry is not None:
+                stack.enter_context(use_registry(registry))
+            if log is not None:
+                stack.enter_context(use_event_log(log))
+            if tracer is not None:
+                stack.enter_context(use_tracer(tracer))
+                stack.enter_context(tracer.span("cell", **self._cell_labels(cell)))
             result = self.fn(cell)
         if isinstance(result, CellResult):
-            snapshot = registry.snapshot()
-            if snapshot.metrics:
-                result.metrics = snapshot.to_dict()
+            if registry is not None:
+                snapshot = registry.snapshot()
+                if snapshot.metrics:
+                    result.metrics = snapshot.to_dict()
+            if tracer is not None:
+                result.spans = tracer.snapshot().to_dict()
+            if log is not None:
+                result.events = log.events()
         return result
 
 

@@ -41,6 +41,7 @@ import platform
 from datetime import datetime, timezone
 from pathlib import Path
 
+from ..telemetry.events import emit_event
 from ..telemetry.registry import current_registry
 
 __all__ = ["ResultsStore", "provenance_stamp", "record_checksum"]
@@ -170,6 +171,7 @@ class ResultsStore:
                 "repro_store_appends_total",
                 "Result/failure records appended to the results store.",
             ).inc()
+        emit_event("store.append", key=key, failed="error" in record)
 
     def compact(self) -> dict:
         """Rewrite the file keeping only the latest record per key.

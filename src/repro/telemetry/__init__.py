@@ -1,30 +1,47 @@
-"""Telemetry subsystem: metrics registry, Prometheus exposition, progress.
+"""Telemetry subsystem: metrics, spans, events, exposition, HTTP endpoint.
 
-Dependency-free observability for the whole stack. The pieces:
+Dependency-free observability for the whole stack, built as three pillars
+that share one contract — **ambient ContextVar seams, off by default, with
+JSON-able by-value snapshots** that ship across process boundaries through
+the sweep's ordered ``on_result`` merge for deterministic aggregation at
+any ``--jobs``:
 
-* :class:`MetricsRegistry` — counters, gauges, histograms with labels and
-  a ``timer()`` span context manager; no locks, owned by one thread.
-* :func:`current_registry` / :func:`use_registry` — the ambient-registry
-  seam instrumented code reads. Telemetry is **off by default**:
-  ``current_registry()`` returns ``None`` and every probe site skips all
-  metric work, keeping hot paths at their uninstrumented speed.
-* :class:`MetricsSnapshot` — JSON-able by-value copy with an associative
-  ``merge()``; how worker processes ship metrics back through the sweep's
-  ordered ``on_result`` seam for deterministic parent-side aggregation.
-* :func:`render_prometheus` / :func:`validate_exposition` — Prometheus
-  text-format output (the substrate for ROADMAP item 2's ``/metrics``
-  endpoint) and the line-format checker the CI smoke test runs.
-* :class:`ProgressLine` — the ``repro sweep --progress`` live stderr line,
-  fed from the same registry.
+* **Metrics** — :class:`MetricsRegistry` (counters, gauges, histograms
+  with labels and a ``timer()`` context manager; no locks, owned by one
+  thread) behind :func:`current_registry` / :func:`use_registry`;
+  :class:`MetricsSnapshot` with an associative ``merge()``;
+  :func:`render_prometheus` / :func:`validate_exposition` for the
+  Prometheus text format.
+* **Spans** — :class:`SpanTracer` behind :func:`current_tracer` /
+  :func:`use_tracer`, with the module-level :func:`span` probe helper;
+  :class:`SpanLog` snapshots graft into one deterministic cross-process
+  timeline; :func:`chrome_trace` / :func:`write_chrome_trace` export
+  Perfetto-loadable trace JSON and :func:`render_timeline` /
+  :func:`timeline_lanes` back the ``repro timeline`` CLI.
+* **Events** — :class:`EventLog` (bounded ring buffer) behind
+  :func:`current_event_log` / :func:`use_event_log` with the
+  :func:`emit_event` probe helper; retries, backoff, crashes, watchdog
+  expiries, cache hits, and store appends become ordered structured
+  records, written as JSONL by :func:`write_events_jsonl`.
+
+:class:`ObservabilityServer` serves the live HTTP surface — ``/metrics``
+(validated exposition), ``/healthz``, and ``/progress`` (the JSON mirror
+of :class:`ProgressLine`) — for ``repro serve-metrics`` and
+``repro sweep --metrics-port``.
 
 Quickstart::
 
-    from repro.telemetry import MetricsRegistry, render_prometheus, use_registry
+    from repro.telemetry import (
+        EventLog, MetricsRegistry, SpanTracer,
+        render_prometheus, use_event_log, use_registry, use_tracer,
+    )
 
-    registry = MetricsRegistry()
-    with use_registry(registry):
+    registry, tracer, log = MetricsRegistry(), SpanTracer(), EventLog()
+    with use_registry(registry), use_tracer(tracer), use_event_log(log):
         ...  # run instrumented code: engines, sweeps, stores
     print(render_prometheus(registry))
+    print(tracer.snapshot().tree())
+    print(log.kinds())
 """
 
 from .registry import (
@@ -39,18 +56,44 @@ from .registry import (
 from .snapshot import HistogramData, MetricsSnapshot
 from .exposition import render_prometheus, validate_exposition
 from .progress import ProgressLine
+from .spans import Span, SpanLog, SpanTracer, current_tracer, span, use_tracer
+from .events import (
+    EventLog,
+    current_event_log,
+    emit_event,
+    use_event_log,
+    write_events_jsonl,
+)
+from .chrome_trace import chrome_trace, render_timeline, timeline_lanes, write_chrome_trace
+from .server import ObservabilityServer
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "HistogramData",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "ObservabilityServer",
     "ProgressLine",
+    "Span",
+    "SpanLog",
+    "SpanTracer",
+    "chrome_trace",
+    "current_event_log",
     "current_registry",
+    "current_tracer",
+    "emit_event",
     "render_prometheus",
+    "render_timeline",
+    "span",
+    "timeline_lanes",
+    "use_event_log",
     "use_registry",
+    "use_tracer",
     "validate_exposition",
+    "write_chrome_trace",
+    "write_events_jsonl",
 ]

@@ -1,0 +1,228 @@
+"""Chrome trace-event export and per-worker timeline rendering.
+
+:func:`chrome_trace` converts a merged :class:`~repro.telemetry.spans.SpanLog`
+(plus optional structured events) into the Chrome trace-event JSON format —
+the ``{"traceEvents": [...]}`` shape that ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev) load directly:
+
+* every closed span becomes a ``"ph": "X"`` complete event (microsecond
+  ``ts``/``dur``, ``pid`` = originating worker process, one track per
+  process — the viewers nest overlapping X events by containment);
+* every structured event becomes a ``"ph": "i"`` instant event;
+* ``"ph": "M"`` metadata names each process track (``sweep`` for the
+  parent, ``worker-<pid>`` for workers).
+
+:func:`timeline_lanes` / :func:`render_timeline` consume that same trace
+dict to produce the ``repro timeline`` CLI views: a JSON lane structure
+and a fixed-width ASCII chart with one lane per process, top-level spans
+drawn as bars.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from .spans import SpanLog
+
+__all__ = [
+    "chrome_trace",
+    "render_timeline",
+    "timeline_lanes",
+    "write_chrome_trace",
+]
+
+
+def chrome_trace(
+    spans: SpanLog | None,
+    events: Iterable[dict[str, Any]] = (),
+    *,
+    base: float | None = None,
+) -> dict[str, Any]:
+    """Build a Chrome trace-event dict from a span log and/or event list.
+
+    ``base`` is the wall-clock origin for ``ts`` values; it defaults to the
+    span log's epoch (or the earliest event timestamp when there are no
+    spans), so traces start near t=0.
+    """
+    events = list(events)
+    if base is None:
+        if spans is not None:
+            base = spans.epoch_wall
+        elif events:
+            base = min(float(event.get("ts", 0.0)) for event in events)
+        else:
+            base = 0.0
+
+    trace_events: list[dict[str, Any]] = []
+    seen_pids: dict[int, str] = {}
+    root_pid = spans.pid if spans is not None else 0
+
+    if spans is not None:
+        for record in spans.records:
+            if record["duration"] is None:
+                continue  # never closed (crash/timeout) — no extent to draw
+            pid = int(record.get("pid", spans.pid))
+            if pid not in seen_pids:
+                seen_pids[pid] = "sweep" if pid == root_pid else f"worker-{pid}"
+            start_wall = spans.epoch_wall + record["start"]
+            trace_events.append(
+                {
+                    "name": record["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round((start_wall - base) * 1e6, 3),
+                    "dur": round(record["duration"] * 1e6, 3),
+                    "pid": pid,
+                    "tid": 0,
+                    "args": dict(record["labels"]),
+                }
+            )
+
+    for event in events:
+        args = {key: value for key, value in event.items() if key not in ("seq", "ts", "kind")}
+        pid = root_pid
+        if pid not in seen_pids:
+            seen_pids[pid] = "sweep"
+        trace_events.append(
+            {
+                "name": str(event.get("kind", "event")),
+                "cat": "repro.event",
+                "ph": "i",
+                "s": "g",
+                "ts": round((float(event.get("ts", base)) - base) * 1e6, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0, "args": {"name": label}}
+        for pid, label in sorted(seen_pids.items())
+    ]
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.telemetry", "span_schema": SpanLog.SCHEMA},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: SpanLog | None,
+    events: Iterable[dict[str, Any]] = (),
+) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace(spans, events), indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def timeline_lanes(trace: dict[str, Any]) -> list[dict[str, Any]]:
+    """Group a trace dict into per-process lanes with nesting depths.
+
+    Returns one dict per process (``sweep`` lane first, then workers by
+    pid): ``{"pid", "label", "spans": [...], "instants": [...]}`` where
+    each span carries ``ts_s``/``dur_s`` (seconds from trace origin) and
+    ``depth`` (0 for top-level spans, +1 per enclosing span).
+    """
+    labels: dict[int, str] = {}
+    spans_by_pid: dict[int, list[dict[str, Any]]] = {}
+    instants_by_pid: dict[int, list[dict[str, Any]]] = {}
+    for entry in trace.get("traceEvents", []):
+        pid = int(entry.get("pid", 0))
+        phase = entry.get("ph")
+        if phase == "M" and entry.get("name") == "process_name":
+            labels[pid] = entry.get("args", {}).get("name", str(pid))
+        elif phase == "X":
+            spans_by_pid.setdefault(pid, []).append(entry)
+        elif phase == "i":
+            instants_by_pid.setdefault(pid, []).append(entry)
+
+    lanes: list[dict[str, Any]] = []
+    all_pids = sorted(set(spans_by_pid) | set(instants_by_pid))
+    ordered = sorted(all_pids, key=lambda pid: (labels.get(pid, "") != "sweep", pid))
+    for pid in ordered:
+        spans = sorted(spans_by_pid.get(pid, []), key=lambda e: (e["ts"], -e["dur"]))
+        lane_spans: list[dict[str, Any]] = []
+        open_ends: list[float] = []  # end times of enclosing spans
+        for entry in spans:
+            start, end = entry["ts"], entry["ts"] + entry["dur"]
+            while open_ends and open_ends[-1] <= start:
+                open_ends.pop()
+            depth = len(open_ends)
+            open_ends.append(end)
+            lane_spans.append(
+                {
+                    "name": entry["name"],
+                    "ts_s": round(start / 1e6, 6),
+                    "dur_s": round(entry["dur"] / 1e6, 6),
+                    "depth": depth,
+                    "args": dict(entry.get("args", {})),
+                }
+            )
+        lane_instants = [
+            {
+                "name": entry["name"],
+                "ts_s": round(entry["ts"] / 1e6, 6),
+                "args": dict(entry.get("args", {})),
+            }
+            for entry in sorted(instants_by_pid.get(pid, []), key=lambda e: e["ts"])
+        ]
+        lanes.append(
+            {
+                "pid": pid,
+                "label": labels.get(pid, str(pid)),
+                "spans": lane_spans,
+                "instants": lane_instants,
+            }
+        )
+    return lanes
+
+
+#: Bar glyphs alternate so adjacent spans in a lane stay distinguishable.
+_BAR_CHARS = ("#", "=")
+
+
+def render_timeline(trace: dict[str, Any], width: int = 100) -> str:
+    """Render a trace dict as a fixed-width ASCII per-process timeline."""
+    width = max(int(width), 20)
+    lanes = timeline_lanes(trace)
+    extent = 0.0
+    for lane in lanes:
+        for item in lane["spans"]:
+            extent = max(extent, item["ts_s"] + item["dur_s"])
+        for item in lane["instants"]:
+            extent = max(extent, item["ts_s"])
+    if extent <= 0.0 or not lanes:
+        return "timeline: no spans recorded\n"
+
+    label_width = max(len(lane["label"]) for lane in lanes)
+    chart_width = max(width - label_width - 3, 10)
+    scale = chart_width / extent
+
+    def column(ts: float) -> int:
+        return min(int(ts * scale), chart_width - 1)
+
+    lines = [f"timeline: {extent:.3f}s total, {chart_width} cols ({extent / chart_width:.4f}s/col)"]
+    for lane in lanes:
+        row = [" "] * chart_width
+        top_level = [item for item in lane["spans"] if item["depth"] == 0]
+        for slot, item in enumerate(top_level):
+            begin = column(item["ts_s"])
+            end = max(column(item["ts_s"] + item["dur_s"]), begin)
+            glyph = _BAR_CHARS[slot % len(_BAR_CHARS)]
+            for col in range(begin, end + 1):
+                row[col] = glyph
+        for item in lane["instants"]:
+            row[column(item["ts_s"])] = "!"
+        busy = sum(item["dur_s"] for item in top_level)
+        summary = f"{len(lane['spans'])} spans, busy {min(busy / extent, 1.0):6.1%}"
+        lines.append(f"{lane['label']:>{label_width}} |{''.join(row)}| {summary}")
+    lines.append(f"{'':>{label_width}} |{'-' * chart_width}|")
+    lines.append(f"{'':>{label_width}}  0{'s':<{max(chart_width - 10, 1)}}{extent:8.3f}s")
+    return "\n".join(lines) + "\n"

@@ -5,13 +5,20 @@ dispatchers write into — it owns no state of its own beyond pacing, so it
 can never disagree with ``--metrics-out``. On a TTY it redraws in place
 with carriage returns; under a pipe (CI logs) it emits plain newline-
 terminated lines, rate-limited so a long sweep does not flood the log.
+
+Rate/ETA accounting: store-cached cells are served near-instantly before
+dispatch begins, so they are excluded from the per-cell rate and the rate
+clock starts at :meth:`ProgressLine.begin_execution` (called by the
+orchestrator once cache serving is done) — a mostly-cached resume no
+longer reports a fantasy cells/s or a skewed ETA.  :meth:`stats` exposes
+the same numbers as JSON for the ``/progress`` HTTP route.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import TextIO
+from typing import Any, TextIO
 
 from .registry import MetricsRegistry
 
@@ -44,34 +51,70 @@ class ProgressLine:
             self._tty = False
         self._min_interval = min_interval
         self._start = time.monotonic()
+        self._exec_start: float | None = None
         self._last_emit = 0.0
         self._last_width = 0
 
-    def render(self, now: float | None = None) -> str:
-        """The current progress text (no trailing newline)."""
+    def begin_execution(self) -> None:
+        """Mark the start of actual cell execution (after cache serving).
+
+        Until this is called the rate clock runs from construction; after,
+        executed-cells/s is measured against the execution epoch only, so
+        store-loading and cache-serving time cannot dilute the estimate.
+        """
+        if self._exec_start is None:
+            self._exec_start = time.monotonic()
+
+    def stats(self, now: float | None = None) -> dict[str, Any]:
+        """Current progress as plain data (the ``/progress`` JSON body)."""
         if now is None:
             now = time.monotonic()
         reg = self._registry
-        completed = reg.total("repro_cells_completed_total")
-        failed = reg.total("repro_cells_failed_total")
-        cached = reg.total("repro_cells_cached_total")
-        retries = reg.total("repro_sweep_retries_total")
-        done = int(completed + failed + cached)
+        completed = int(reg.total("repro_cells_completed_total"))
+        failed = int(reg.total("repro_cells_failed_total"))
+        cached = int(reg.total("repro_cells_cached_total"))
+        retries = int(reg.total("repro_sweep_retries_total"))
+        done = completed + failed + cached
         executed = completed + failed
-        elapsed = max(now - self._start, 1e-9)
-        parts = [f"sweep {done}/{self._total} cells"]
-        if cached:
-            parts.append(f"{int(cached)} cached")
-        parts.append(f"{int(failed)} failed")
-        if retries:
-            parts.append(f"{int(retries)} retries")
-        rate = executed / elapsed
-        parts.append(f"{rate:.1f} cells/s")
+        elapsed = max(now - self._start, 0.0)
+        exec_epoch = self._exec_start if self._exec_start is not None else self._start
+        rate = executed / max(now - exec_epoch, 1e-9)
         remaining = self._total - done
+        eta_s: float | None
         if remaining <= 0:
-            parts.append(f"done in {_format_eta(elapsed)}")
+            eta_s = 0.0
         elif rate > 0:
-            parts.append(f"eta {_format_eta(remaining / rate)}")
+            eta_s = remaining / rate
+        else:
+            eta_s = None
+        return {
+            "total": self._total,
+            "done": done,
+            "completed": completed,
+            "failed": failed,
+            "cached": cached,
+            "retries": retries,
+            "executed": executed,
+            "elapsed_s": round(elapsed, 3),
+            "rate_cells_per_s": round(rate, 3),
+            "eta_s": None if eta_s is None else round(eta_s, 3),
+        }
+
+    def render(self, now: float | None = None) -> str:
+        """The current progress text (no trailing newline)."""
+        stats = self.stats(now)
+        parts = [f"sweep {stats['done']}/{stats['total']} cells"]
+        if stats["cached"]:
+            parts.append(f"{stats['cached']} cached")
+        if stats["failed"]:
+            parts.append(f"{stats['failed']} failed")
+        if stats["retries"]:
+            parts.append(f"{stats['retries']} retries")
+        parts.append(f"{stats['rate_cells_per_s']:.1f} cells/s")
+        if stats["done"] >= stats["total"]:
+            parts.append(f"done in {_format_eta(stats['elapsed_s'])}")
+        elif stats["eta_s"] is not None:
+            parts.append(f"eta {_format_eta(stats['eta_s'])}")
         else:
             parts.append("eta --")
         return " | ".join(parts)

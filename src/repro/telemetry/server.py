@@ -1,0 +1,199 @@
+"""Dependency-free HTTP observability endpoint (stdlib ``http.server``).
+
+:class:`ObservabilityServer` runs a :class:`~http.server.ThreadingHTTPServer`
+on a daemon thread and serves three routes:
+
+* ``/metrics``  — Prometheus text exposition 0.0.4 of the attached
+  registry's current snapshot (the same bytes as ``--metrics-out``);
+* ``/healthz``  — liveness probe, always ``ok``;
+* ``/progress`` — JSON mirror of the sweep :class:`ProgressLine` stats
+  (done/total, cached/failed/retries, rate, ETA) when one is attached.
+
+Used two ways: ``repro serve-metrics`` runs it as a foreground exporter
+(optionally seeded from a recorded snapshot), and ``repro sweep
+--metrics-port`` attaches it to a *live* sweep so the run can be scraped
+while it executes.
+
+Thread-safety note: the metrics registry is deliberately lock-free (the
+owning thread mutates it; the hot path must stay cheap).  A scrape that
+races a family registration can hit a transient ``RuntimeError`` from
+dict iteration — the handler retries a few times and falls back to the
+last good snapshot rather than poisoning the scrape.  Sample *values* are
+plain float reads, so a scrape is always a coherent text page even while
+counters move.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from .exposition import render_prometheus
+from .registry import MetricsRegistry
+from .snapshot import MetricsSnapshot
+
+__all__ = ["ObservabilityServer"]
+
+#: Snapshot attempts before falling back to the last good snapshot.
+_SNAPSHOT_RETRIES = 8
+
+_INDEX_BODY = "\n".join(
+    [
+        "repro observability endpoint",
+        "  /metrics   Prometheus text exposition (0.0.4)",
+        "  /healthz   liveness probe",
+        "  /progress  sweep progress (JSON)",
+        "",
+    ]
+)
+
+
+class ObservabilityServer:
+    """Serves ``/metrics``, ``/healthz``, and ``/progress`` over HTTP."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: MetricsRegistry | None = None,
+        progress: Callable[[], dict[str, Any]] | None = None,
+        refresh: Callable[[], None] | None = None,
+    ):
+        self._host = host
+        self._requested_port = int(port)
+        self._registry = registry
+        self._progress = progress
+        self._refresh = refresh
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._last_snapshot: MetricsSnapshot | None = None
+
+    def attach(
+        self,
+        registry: MetricsRegistry | None = None,
+        progress: Callable[[], dict[str, Any]] | None = None,
+    ) -> None:
+        """Point the server at a (new) registry and/or progress source."""
+        if registry is not None:
+            self._registry = registry
+        if progress is not None:
+            self._progress = progress
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port once started (resolves ``port=0`` to the real one)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self._host}:{self.port}{path}"
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; idempotent. Returns the port."""
+        if self._httpd is not None:
+            return self.port
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-observability",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- route bodies (called from handler threads) -----------------------
+
+    def metrics_text(self) -> str:
+        if self._refresh is not None:
+            self._refresh()
+        registry = self._registry
+        if registry is None:
+            return ""
+        for _ in range(_SNAPSHOT_RETRIES):
+            try:
+                snapshot = registry.snapshot()
+            except RuntimeError:
+                continue  # raced a family registration on the owning thread
+            self._last_snapshot = snapshot
+            return render_prometheus(snapshot)
+        if self._last_snapshot is not None:
+            return render_prometheus(self._last_snapshot)
+        return ""
+
+    def progress_json(self) -> dict[str, Any]:
+        source = self._progress
+        if source is None:
+            return {"active": False}
+        for _ in range(_SNAPSHOT_RETRIES):
+            try:
+                stats = source()
+            except RuntimeError:
+                continue
+            return {"active": True, **stats}
+        return {"active": False}
+
+
+def _make_handler(server: ObservabilityServer) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-observability/1"
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                body = server.metrics_text()
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+                status = 200
+            elif path in ("/healthz", "/health"):
+                body = "ok\n"
+                content_type = "text/plain; charset=utf-8"
+                status = 200
+            elif path == "/progress":
+                body = json.dumps(server.progress_json(), sort_keys=True) + "\n"
+                content_type = "application/json"
+                status = 200
+            elif path in ("/", "/index.html"):
+                body = _INDEX_BODY
+                content_type = "text/plain; charset=utf-8"
+                status = 200
+            else:
+                body = "not found\n"
+                content_type = "text/plain; charset=utf-8"
+                status = 404
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, *args: object) -> None:
+            pass  # scrapes must not pollute the sweep's stderr progress line
+
+    return Handler

@@ -1,0 +1,483 @@
+"""Unit tests for span tracing, the event log, and trace export.
+
+Covers the two new ambient telemetry pillars (:mod:`repro.telemetry.spans`,
+:mod:`repro.telemetry.events`) and the Chrome trace-event / ASCII timeline
+exporters built on top of them.  End-to-end sweep integration lives in
+``test_observability.py``; these tests pin the value-object contracts:
+parent resolution, capacity bounds, by-value snapshots, graft/absorb
+determinism, and the exact trace-event shapes Perfetto expects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry.chrome_trace import (
+    chrome_trace,
+    render_timeline,
+    timeline_lanes,
+    write_chrome_trace,
+)
+from repro.telemetry.events import (
+    EventLog,
+    current_event_log,
+    emit_event,
+    use_event_log,
+    write_events_jsonl,
+)
+from repro.telemetry.spans import (
+    SpanLog,
+    SpanTracer,
+    current_tracer,
+    span,
+    use_tracer,
+)
+
+
+def make_log(records, pid=1000, epoch_wall=100.0, dropped=0) -> SpanLog:
+    """Hand-built SpanLog with full records (timing chosen, not measured)."""
+    full = []
+    for record in records:
+        full.append(
+            {
+                "name": record["name"],
+                "labels": dict(record.get("labels", {})),
+                "start": record.get("start", 0.0),
+                "duration": record.get("duration", 1.0),
+                "parent": record.get("parent", -1),
+                **({"pid": record["pid"]} if "pid" in record else {}),
+            }
+        )
+    return SpanLog(pid=pid, epoch_wall=epoch_wall, records=full, dropped=dropped)
+
+
+class TestSpanTracer:
+    def test_nesting_resolves_parents(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        names = [r["name"] for r in tracer.records]
+        parents = [r["parent"] for r in tracer.records]
+        assert names == ["outer", "middle", "inner", "sibling"]
+        assert parents == [-1, 0, 1, 0]
+
+    def test_durations_stamped_on_close(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        record = tracer.records[0]
+        assert record["duration"] is not None
+        assert record["duration"] >= 0.0
+        assert record["start"] >= 0.0
+
+    def test_open_span_has_none_duration_in_snapshot(self):
+        tracer = SpanTracer()
+        with tracer.span("open"):
+            log = tracer.snapshot()
+            assert log.records[0]["duration"] is None
+        # after exit the tracer's own record is closed
+        assert tracer.records[0]["duration"] is not None
+
+    def test_labels_stringified_and_sorted(self):
+        tracer = SpanTracer()
+        with tracer.span("cell", n=120, zeta="x", alpha=1.5):
+            pass
+        labels = tracer.records[0]["labels"]
+        assert labels == {"alpha": "1.5", "n": "120", "zeta": "x"}
+        assert list(labels) == ["alpha", "n", "zeta"]
+
+    def test_capacity_drops_and_keeps_stack_integrity(self):
+        tracer = SpanTracer(max_spans=2)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):  # dropped
+                    with tracer.span("d"):  # dropped
+                        pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+        assert [r["name"] for r in tracer.records] == ["a", "b"]
+        # both surviving spans were closed despite the dropped inner pair
+        assert all(r["duration"] is not None for r in tracer.records)
+        assert tracer._stack == []
+
+    def test_parent_skips_dropped_placeholder(self):
+        # A span opened while a dropped span is on the stack must parent to
+        # the nearest *recorded* ancestor, not the -1 placeholder.
+        tracer = SpanTracer(max_spans=1)
+        with tracer.span("root"):
+            with tracer.span("lost"):
+                pass
+        assert len(tracer) == 1
+        assert tracer.dropped == 1
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            SpanTracer(max_spans=0)
+
+    def test_exception_still_closes_span(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.records[0]["duration"] is not None
+        assert tracer._stack == []
+
+    def test_snapshot_is_by_value(self):
+        tracer = SpanTracer()
+        with tracer.span("a", k="v"):
+            pass
+        log = tracer.snapshot()
+        log.records[0]["name"] = "mutated"
+        log.records[0]["labels"]["k"] = "mutated"
+        assert tracer.records[0]["name"] == "a"
+        assert tracer.records[0]["labels"]["k"] == "v"
+        assert log.pid == os.getpid()
+
+
+class TestAmbientTracerSeam:
+    def test_off_by_default(self):
+        assert current_tracer() is None
+        with span("nothing", any_label=1):
+            pass  # must be a silent no-op
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = SpanTracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+            with span("via-ambient"):
+                pass
+        assert current_tracer() is None
+        assert [r["name"] for r in tracer.records] == ["via-ambient"]
+
+    def test_nested_use_tracer_restores_outer(self):
+        outer, inner = SpanTracer(), SpanTracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                with span("deep"):
+                    pass
+            assert current_tracer() is outer
+        assert len(inner) == 1
+        assert len(outer) == 0
+
+
+class TestSpanLog:
+    def test_round_trip(self):
+        tracer = SpanTracer()
+        with tracer.span("a", x=1):
+            with tracer.span("b"):
+                pass
+        log = tracer.snapshot()
+        rebuilt = SpanLog.from_dict(log.to_dict())
+        assert rebuilt == log
+        # and the payload itself is JSON-serializable
+        assert json.loads(json.dumps(log.to_dict())) == log.to_dict()
+
+    def test_from_dict_rejects_unknown_schema(self):
+        payload = make_log([{"name": "a"}]).to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            SpanLog.from_dict(payload)
+
+    def test_graft_offsets_and_reparents(self):
+        parent = make_log(
+            [{"name": "sweep"}, {"name": "dispatch", "parent": 0}], pid=1, epoch_wall=50.0
+        )
+        child = make_log(
+            [{"name": "cell", "start": 0.25}, {"name": "engine.run", "parent": 0, "start": 0.3}],
+            pid=2,
+            epoch_wall=50.5,
+            dropped=3,
+        )
+        parent.graft(child, parent=0)
+        assert len(parent) == 4
+        cell, engine = parent.records[2], parent.records[3]
+        # child roots hang under the requested parent; children stay offset
+        assert cell["parent"] == 0
+        assert engine["parent"] == 2
+        # starts rebased through the wall-clock epochs: 0.25 + (50.5 - 50.0)
+        assert cell["start"] == pytest.approx(0.75)
+        assert engine["start"] == pytest.approx(0.8)
+        # grafted records carry the originating pid; dropped counts add
+        assert cell["pid"] == 2 and engine["pid"] == 2
+        assert parent.dropped == 3
+
+    def test_graft_default_parent_keeps_roots(self):
+        parent = make_log([{"name": "sweep"}])
+        parent.graft(make_log([{"name": "orphan"}], pid=7))
+        assert parent.records[1]["parent"] == -1
+        assert parent.roots() == [0, 1]
+
+    def test_tree_is_structural_only(self):
+        slow = make_log(
+            [
+                {"name": "sweep", "start": 0.0, "duration": 9.0},
+                {"name": "cell", "labels": {"n": "60"}, "parent": 0, "start": 1.0},
+                {"name": "cell", "labels": {"n": "90"}, "parent": 0, "start": 5.0},
+            ]
+        )
+        fast = make_log(
+            [
+                {"name": "sweep", "start": 0.0, "duration": 0.1},
+                {"name": "cell", "labels": {"n": "60"}, "parent": 0, "start": 0.01},
+                {"name": "cell", "labels": {"n": "90"}, "parent": 0, "start": 0.02},
+            ],
+            pid=999,
+            epoch_wall=1.0,
+        )
+        assert slow.tree() == fast.tree()
+        assert slow.tree() == [
+            (
+                "sweep",
+                (),
+                (("cell", (("n", "60"),), ()), ("cell", (("n", "90"),), ())),
+            )
+        ]
+
+    def test_roots_and_children(self):
+        log = make_log(
+            [{"name": "a"}, {"name": "b", "parent": 0}, {"name": "c", "parent": 0}]
+        )
+        assert log.roots() == [0]
+        assert log.children(0) == [1, 2]
+        assert log.children(1) == []
+
+
+class TestEventLog:
+    def test_emit_stamps_seq_ts_kind(self):
+        log = EventLog()
+        log.emit("sweep.retry", item=3, attempt=1)
+        (event,) = log.events()
+        assert event["kind"] == "sweep.retry"
+        assert event["seq"] == 0
+        assert event["ts"] > 0
+        assert event["item"] == 3 and event["attempt"] == 1
+
+    @pytest.mark.parametrize("reserved", ["seq", "ts"])
+    def test_reserved_field_names_raise(self, reserved):
+        log = EventLog()
+        with pytest.raises(ValueError, match="reserved"):
+            log.emit("x", **{reserved: 1})
+        assert len(log) == 0
+
+    def test_kind_collides_at_signature_level(self):
+        # "kind" is the positional parameter itself, so it can never sneak
+        # in as a field — Python rejects the duplicate keyword outright.
+        with pytest.raises(TypeError):
+            EventLog().emit("x", **{"kind": 1})
+
+    def test_ring_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.emit("tick", index=index)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [event["index"] for event in log.events()] == [2, 3, 4]
+        assert [event["seq"] for event in log.events()] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_absorb_resequences_but_keeps_timestamps(self):
+        worker = EventLog()
+        worker.emit("store.append", key="abc")
+        worker.emit("sweep.retry", item=0)
+        original_ts = [event["ts"] for event in worker.events()]
+        parent = EventLog()
+        parent.emit("store.cache_hit", key="zzz")
+        parent.absorb(worker.events())
+        events = parent.events()
+        assert [event["seq"] for event in events] == [0, 1, 2]
+        assert [event["kind"] for event in events] == [
+            "store.cache_hit",
+            "store.append",
+            "sweep.retry",
+        ]
+        assert [event["ts"] for event in events[1:]] == original_ts
+
+    def test_absorb_counts_overflow_as_dropped(self):
+        parent = EventLog(capacity=2)
+        parent.absorb({"seq": i, "ts": 1.0, "kind": "k"} for i in range(4))
+        assert len(parent) == 2
+        assert parent.dropped == 2
+
+    def test_kinds(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        assert log.kinds() == ["a", "b"]
+
+    def test_ambient_seam(self):
+        assert current_event_log() is None
+        emit_event("ignored", x=1)  # no-op, must not raise
+        log = EventLog()
+        with use_event_log(log) as installed:
+            assert installed is log
+            assert current_event_log() is log
+            emit_event("seen", x=1)
+        assert current_event_log() is None
+        assert log.kinds() == ["seen"]
+
+
+class TestWriteEventsJsonl:
+    def test_one_compact_object_per_line(self, tmp_path):
+        log = EventLog()
+        log.emit("a", value=1)
+        log.emit("b", nested={"k": [1, 2]})
+        path = write_events_jsonl(tmp_path / "events.jsonl", log.events())
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == log.events()
+        # compact separators, sorted keys
+        assert ": " not in lines[0]
+        assert list(parsed[0]) == sorted(parsed[0])
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "dir" / "events.jsonl"
+        write_events_jsonl(target, [])
+        assert target.exists()
+        assert target.read_text(encoding="utf-8") == ""
+
+
+class TestChromeTrace:
+    def merged_log(self) -> SpanLog:
+        log = make_log(
+            [
+                {"name": "sweep", "start": 0.0, "duration": 2.0, "labels": {"spec": "g"}},
+                {"name": "dispatch", "parent": 0, "start": 0.5, "duration": 1.0},
+            ],
+            pid=1,
+            epoch_wall=100.0,
+        )
+        log.graft(
+            make_log(
+                [{"name": "cell", "start": 0.1, "duration": 0.5, "labels": {"n": "60"}}],
+                pid=2,
+                epoch_wall=100.5,
+            ),
+            parent=0,
+        )
+        return log
+
+    def test_closed_spans_become_complete_events(self):
+        trace = chrome_trace(self.merged_log())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in spans] == ["sweep", "dispatch", "cell"]
+        sweep = spans[0]
+        assert sweep == {
+            "name": "sweep",
+            "cat": "repro",
+            "ph": "X",
+            "ts": 0.0,
+            "dur": 2_000_000.0,
+            "pid": 1,
+            "tid": 0,
+            "args": {"spec": "g"},
+        }
+        # grafted cell: pid from the worker, ts rebased (0.1 + 0.5s shift)
+        cell = spans[2]
+        assert cell["pid"] == 2
+        assert cell["ts"] == pytest.approx(600_000.0)
+        assert cell["dur"] == pytest.approx(500_000.0)
+
+    def test_unclosed_spans_are_skipped(self):
+        log = make_log([{"name": "open", "duration": None}, {"name": "done"}])
+        trace = chrome_trace(log)
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert names == ["done"]
+
+    def test_events_become_instants_without_reserved_keys(self):
+        events = [{"seq": 0, "ts": 100.25, "kind": "sweep.retry", "item": 4}]
+        trace = chrome_trace(self.merged_log(), events)
+        (instant,) = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "sweep.retry"
+        assert instant["s"] == "g"
+        assert instant["args"] == {"item": 4}
+        assert instant["ts"] == pytest.approx(250_000.0)
+
+    def test_process_metadata_names_lanes(self):
+        trace = chrome_trace(self.merged_log())
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert [(e["pid"], e["args"]["name"]) for e in metadata] == [
+            (1, "sweep"),
+            (2, "worker-2"),
+        ]
+
+    def test_base_defaults_to_earliest_event_without_spans(self):
+        events = [
+            {"seq": 0, "ts": 10.5, "kind": "late"},
+            {"seq": 1, "ts": 10.0, "kind": "early"},
+        ]
+        trace = chrome_trace(None, events)
+        instants = {e["name"]: e["ts"] for e in trace["traceEvents"] if e["ph"] == "i"}
+        assert instants["early"] == 0.0
+        assert instants["late"] == pytest.approx(500_000.0)
+
+    def test_explicit_base_shifts_timestamps(self):
+        trace = chrome_trace(self.merged_log(), base=99.0)
+        sweep = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        assert sweep["ts"] == pytest.approx(1_000_000.0)
+
+    def test_empty_trace(self):
+        trace = chrome_trace(None)
+        assert trace["traceEvents"] == []
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", self.merged_log())
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        loaded = json.loads(text)
+        assert loaded == chrome_trace(self.merged_log())
+
+
+class TestTimeline:
+    def trace(self) -> dict:
+        return chrome_trace(
+            TestChromeTrace().merged_log(),
+            [{"seq": 0, "ts": 100.2, "kind": "store.append"}],
+        )
+
+    def test_lanes_sweep_first_then_workers(self):
+        lanes = timeline_lanes(self.trace())
+        assert [lane["label"] for lane in lanes] == ["sweep", "worker-2"]
+        assert [lane["pid"] for lane in lanes] == [1, 2]
+
+    def test_nested_spans_get_depth(self):
+        (sweep_lane, worker_lane) = timeline_lanes(self.trace())
+        by_name = {item["name"]: item for item in sweep_lane["spans"]}
+        assert by_name["sweep"]["depth"] == 0
+        assert by_name["dispatch"]["depth"] == 1
+        assert worker_lane["spans"][0]["depth"] == 0
+        assert worker_lane["spans"][0]["dur_s"] == pytest.approx(0.5)
+
+    def test_instants_land_on_their_lane(self):
+        (sweep_lane, _) = timeline_lanes(self.trace())
+        assert [item["name"] for item in sweep_lane["instants"]] == ["store.append"]
+        assert sweep_lane["instants"][0]["ts_s"] == pytest.approx(0.2)
+
+    def test_render_contains_lanes_bars_and_axis(self):
+        text = render_timeline(self.trace(), width=80)
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline: 2.000s total")
+        assert any(line.lstrip().startswith("sweep |") for line in lines)
+        assert any(line.lstrip().startswith("worker-2 |") for line in lines)
+        assert "#" in text
+        assert "!" in text  # the instant marker
+        assert "busy" in text
+
+    def test_render_empty_trace(self):
+        assert render_timeline({"traceEvents": []}) == "timeline: no spans recorded\n"
+
+    def test_render_clamps_tiny_width(self):
+        text = render_timeline(self.trace(), width=5)
+        assert "timeline:" in text  # still renders at the 20-col floor

@@ -636,6 +636,63 @@ class TestProgressLine:
             line.update()
         assert len(stream.getvalue().splitlines()) == 1  # only the forced one
 
+    def test_rate_measured_from_execution_epoch(self):
+        # 4 cells served from cache during a slow store load, then 3
+        # executed in the last 2 seconds: the rate must reflect the 2s of
+        # actual execution, not the 100s since construction.
+        reg, _, line = self.make(total=10)
+        reg.counter("repro_cells_cached_total").inc(4)
+        reg.counter("repro_cells_completed_total").inc(3)
+        now = line._start + 100.0
+        line.begin_execution()
+        line._exec_start = line._start + 98.0
+        stats = line.stats(now)
+        assert stats["executed"] == 3  # cached cells never count as executed
+        assert stats["done"] == 7
+        assert stats["rate_cells_per_s"] == pytest.approx(1.5)
+        assert stats["eta_s"] == pytest.approx((10 - 7) / 1.5)
+
+    def test_begin_execution_is_idempotent(self):
+        _, _, line = self.make()
+        line.begin_execution()
+        first = line._exec_start
+        line.begin_execution()
+        assert line._exec_start == first
+
+    def test_eta_unknown_when_only_cached(self):
+        # A resume that served everything-so-far from cache has no
+        # execution rate yet; the ETA must say so rather than extrapolate.
+        reg, _, line = self.make(total=6)
+        reg.counter("repro_cells_cached_total").inc(4)
+        stats = line.stats(line._start + 50.0)
+        assert stats["rate_cells_per_s"] == 0.0
+        assert stats["eta_s"] is None
+        assert "eta --" in line.render(line._start + 50.0)
+
+    def test_stats_is_the_progress_json_contract(self):
+        reg, _, line = self.make(total=6)
+        reg.counter("repro_cells_completed_total").inc(2)
+        reg.counter("repro_cells_failed_total").inc()
+        reg.counter("repro_sweep_retries_total").inc(3)
+        stats = line.stats()
+        assert set(stats) == {
+            "total", "done", "completed", "failed", "cached", "retries",
+            "executed", "elapsed_s", "rate_cells_per_s", "eta_s",
+        }
+        assert stats["completed"] == 2
+        assert stats["failed"] == 1
+        assert stats["retries"] == 3
+        assert stats["done"] == 3
+        assert json.dumps(stats)  # JSON-serializable as served by /progress
+
+    def test_failed_segment_absent_when_zero(self):
+        reg, _, line = self.make(total=6)
+        reg.counter("repro_cells_completed_total").inc(2)
+        rendered = line.render()
+        assert "failed" not in rendered
+        assert "retries" not in rendered
+        assert "cached" not in rendered
+
     def test_run_sweep_progress_writes_to_stream(self, capsys):
         result = run_sweep(small_grid(), progress=True)
         err = capsys.readouterr().err

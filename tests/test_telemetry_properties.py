@@ -1,0 +1,264 @@
+"""Property tests for snapshot merge algebra and the exposition format.
+
+Randomized (seeded, not flaky) checks of two load-bearing contracts:
+
+* :meth:`MetricsSnapshot.merge` is associative, commutative, and has the
+  empty snapshot as identity — the algebra that makes the orchestrator's
+  ordered fold produce byte-identical aggregates at any worker count.
+  Random values are drawn from the dyadic rationals (``k / 256``) so
+  every partial sum is exactly representable and the laws hold *exactly*,
+  not merely approximately; the non-finite corners (NaN, ±Inf) are
+  checked through JSON text equality, where NaN compares equal to itself.
+
+* :func:`render_prometheus` output always passes
+  :func:`validate_exposition` with a predictable sample count, including
+  NaN/±Inf values and label values exercising every escape rule
+  (backslash, double quote, newline).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    render_prometheus,
+    validate_exposition,
+)
+
+#: Family schema shared by every randomized registry: merge requires kinds
+#: (and histogram bucket layouts) to agree family-by-family, exactly as
+#: real worker snapshots agree because they run the same instrumentation.
+FAMILIES = (
+    ("cells_total", "counter"),
+    ("retries_total", "counter"),
+    ("inflight", "gauge"),
+    ("run_seconds", "histogram"),
+)
+BUCKETS = (0.5, 4.0, 64.0)
+LABEL_SETS = (
+    {},
+    {"tier": "a"},
+    {"tier": "b"},
+    {"tier": "a", "mode": "x"},
+    {"tier": "b", "mode": "y"},
+)
+
+
+def dyadic(rng: random.Random) -> float:
+    """An exactly-representable value: k/256 with k < 2**20."""
+    return rng.randrange(1 << 20) / 256.0
+
+
+def random_snapshot(rng: random.Random) -> MetricsSnapshot:
+    """A registry snapshot with random series over the shared schema."""
+    registry = MetricsRegistry()
+    for name, kind in FAMILIES:
+        for labels in LABEL_SETS:
+            if rng.random() < 0.4:
+                continue
+            if kind == "counter":
+                registry.counter(name, "r.", **labels).inc(dyadic(rng))
+            elif kind == "gauge":
+                registry.gauge(name, "r.", **labels).set(dyadic(rng))
+            else:
+                child = registry.histogram(name, "r.", buckets=BUCKETS, **labels)
+                for _ in range(rng.randrange(1, 6)):
+                    child.observe(dyadic(rng) / 16.0)
+    return registry.snapshot()
+
+
+def as_text(snapshot: MetricsSnapshot) -> str:
+    """Canonical JSON text; NaN serializes as ``NaN`` so it self-compares."""
+    return json.dumps(snapshot.to_dict(), sort_keys=True)
+
+
+def expected_samples(snapshot: MetricsSnapshot) -> int:
+    """Sample lines render_prometheus must emit for ``snapshot``."""
+    total = 0
+    for metric in snapshot.metrics.values():
+        if metric["kind"] == "histogram":
+            # one _bucket line per bound, +Inf bucket, _sum, _count
+            total += len(metric["series"]) * (len(metric["buckets"]) + 3)
+        else:
+            total += len(metric["series"])
+    return total
+
+
+SEEDS = range(25)
+
+
+class TestMergeAlgebra:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_associative(self, seed):
+        rng = random.Random(seed)
+        a, b, c = (random_snapshot(rng) for _ in range(3))
+        assert as_text(a.merge(b).merge(c)) == as_text(a.merge(b.merge(c)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_commutative(self, seed):
+        rng = random.Random(1000 + seed)
+        a, b = random_snapshot(rng), random_snapshot(rng)
+        assert as_text(a.merge(b)) == as_text(b.merge(a))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_empty_is_identity(self, seed):
+        rng = random.Random(2000 + seed)
+        a = random_snapshot(rng)
+        empty = MetricsSnapshot()
+        assert as_text(a.merge(empty)) == as_text(a)
+        assert as_text(empty.merge(a)) == as_text(a)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_merge_does_not_mutate_operands(self, seed):
+        rng = random.Random(3000 + seed)
+        a, b = random_snapshot(rng), random_snapshot(rng)
+        before_a, before_b = as_text(a), as_text(b)
+        a.merge(b)
+        assert as_text(a) == before_a
+        assert as_text(b) == before_b
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fold_order_independent(self, seed):
+        """The orchestrator's left fold equals any parenthesization."""
+        rng = random.Random(4000 + seed)
+        parts = [random_snapshot(rng) for _ in range(4)]
+        left = parts[0]
+        for part in parts[1:]:
+            left = left.merge(part)
+        right = parts[0].merge(parts[1].merge(parts[2].merge(parts[3])))
+        assert as_text(left) == as_text(right)
+
+    def test_non_finite_values_still_associative(self):
+        def gauge_snapshot(value: float) -> MetricsSnapshot:
+            registry = MetricsRegistry()
+            registry.gauge("weird", "n.").set(value)
+            return registry.snapshot()
+
+        a = gauge_snapshot(float("inf"))
+        b = gauge_snapshot(float("-inf"))
+        c = gauge_snapshot(1.0)
+        merged = a.merge(b)
+        assert math.isnan(merged.value("weird"))  # Inf + -Inf = NaN
+        # textual equality treats NaN as equal to itself
+        assert as_text(a.merge(b).merge(c)) == as_text(a.merge(b.merge(c)))
+        assert as_text(a.merge(c)).find("Infinity") >= 0
+
+    def test_kind_mismatch_raises(self):
+        counter_reg, gauge_reg = MetricsRegistry(), MetricsRegistry()
+        counter_reg.counter("x", "h.").inc()
+        gauge_reg.gauge("x", "h.").set(1)
+        with pytest.raises(ValueError, match="counter vs gauge"):
+            counter_reg.snapshot().merge(gauge_reg.snapshot())
+
+    def test_histogram_bucket_count_mismatch_raises(self):
+        narrow, wide = MetricsRegistry(), MetricsRegistry()
+        narrow.histogram("h", buckets=(1.0,)).observe(0.5)
+        wide.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket count"):
+            narrow.snapshot().merge(wide.snapshot())
+
+    def test_histogram_merge_is_bucketwise(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for value in (0.25, 3.0):
+            left.histogram("h", buckets=BUCKETS).observe(value)
+        for value in (0.25, 100.0):
+            right.histogram("h", buckets=BUCKETS).observe(value)
+        merged = left.snapshot().merge(right.snapshot())
+        (data,) = merged.metrics["h"]["series"].values()
+        assert data.counts == [2, 1, 0, 1]
+        assert data.count == 4
+        assert data.sum == pytest.approx(103.5)
+
+
+class TestExpositionRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_snapshot_renders_valid_exposition(self, seed):
+        snapshot = random_snapshot(random.Random(5000 + seed))
+        text = render_prometheus(snapshot)
+        assert validate_exposition(text) == expected_samples(snapshot)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_merge_then_render_stays_valid(self, seed):
+        rng = random.Random(6000 + seed)
+        merged = random_snapshot(rng).merge(random_snapshot(rng))
+        text = render_prometheus(merged)
+        assert validate_exposition(text) == expected_samples(merged)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_json_round_trip_preserves_rendering(self, seed):
+        snapshot = random_snapshot(random.Random(7000 + seed))
+        rebuilt = MetricsSnapshot.from_dict(
+            json.loads(json.dumps(snapshot.to_dict()))
+        )
+        assert render_prometheus(rebuilt) == render_prometheus(snapshot)
+
+    def test_insertion_order_never_changes_rendering(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        series = [("b_total", {"tier": "z"}), ("b_total", {"tier": "a"}), ("a_total", {})]
+        for name, labels in series:
+            forward.counter(name, "h.", **labels).inc()
+        for name, labels in reversed(series):
+            backward.counter(name, "h.", **labels).inc()
+        assert render_prometheus(forward) == render_prometheus(backward)
+
+    @pytest.mark.parametrize(
+        "value, rendered",
+        [
+            (float("nan"), "NaN"),
+            (float("inf"), "+Inf"),
+            (float("-inf"), "-Inf"),
+            (-0.5, "-0.5"),
+            (3.0, "3"),
+        ],
+    )
+    def test_special_values_render_and_validate(self, value, rendered):
+        registry = MetricsRegistry()
+        registry.gauge("weird", "n.").set(value)
+        text = render_prometheus(registry.snapshot())
+        assert f"weird {rendered}" in text
+        assert validate_exposition(text) == 1
+
+    def test_label_escaping_corners(self):
+        corners = {
+            "backslash": "a\\b",
+            "quote": 'say "hi"',
+            "newline": "line1\nline2",
+            "empty": "",
+            "unicode": "π ≈ 3.14159",
+            "mixed": 'both \\ and " and \n here',
+        }
+        registry = MetricsRegistry()
+        for case, value in corners.items():
+            registry.counter("corner_total", "c.", case=case, v=value).inc()
+        text = render_prometheus(registry.snapshot())
+        assert validate_exposition(text) == len(corners)
+        assert r'v="a\\b"' in text
+        assert r'v="say \"hi\""' in text
+        assert r'v="line1\nline2"' in text
+        assert 'v=""' in text
+        assert 'v="π ≈ 3.14159"' in text
+        # escaping kept every sample on its own line
+        assert len(text.splitlines()) == len(corners) + 2  # + HELP/TYPE
+
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line1\nline2 with \\ slash").inc()
+        text = render_prometheus(registry.snapshot())
+        assert r"# HELP c_total line1\nline2 with \\ slash" in text
+        assert validate_exposition(text) == 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mid_sweep_partial_merges_always_render_valid(self, seed):
+        """Any prefix of the orchestrator's fold yields a scrapeable page."""
+        rng = random.Random(8000 + seed)
+        folded = MetricsSnapshot()
+        for _ in range(3):
+            folded = folded.merge(random_snapshot(rng))
+            text = render_prometheus(folded)
+            assert validate_exposition(text) == expected_samples(folded)
