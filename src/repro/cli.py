@@ -350,9 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--trials", type=int, default=5, help="trials per protocol (default 5)")
     compare.add_argument(
         "--engine",
-        choices=["auto", "batched", "sequential"],
+        choices=["auto", "batched", "sequential", "counts"],
         default="auto",
-        help="trial execution engine (default auto: batched when the protocol supports it)",
+        help=(
+            "trial execution engine (default auto: batched when the protocol "
+            "supports it; counts runs the sufficient-statistic engine and "
+            "skips protocols without a count model)"
+        ),
     )
 
     return parser
@@ -405,6 +409,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ]
     table = []
     for index, (label, factory) in enumerate(lineup):
+        if args.engine == "counts" and not factory().counts_supported:
+            table.append([label, "no count model", "-"])
+            continue
         stats = run_trials(
             factory,
             n,
@@ -468,7 +475,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_sweep_list() -> int:
     """Print the component catalog straight from the registries."""
     catalog = component_catalog()
-    for kind in ("protocol", "initializer", "sampler"):
+    for kind in ("protocol", "initializer", "sampler", "population"):
         rows = [
             [name, ", ".join(params) if params else "-"]
             for name, params in catalog[kind].items()

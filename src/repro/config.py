@@ -47,6 +47,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core.batch import BatchedEngine
+    from .core.counts import CountEngine
     from .core.population import PopulationState
     from .core.protocol import Protocol
     from .core.sampling import BatchedSampler, Sampler
@@ -141,7 +142,9 @@ class RunSpec:
         Consecutive all-correct rounds required for convergence.
     engine:
         ``"auto"`` (batched when the protocol and observation component
-        support it), ``"batched"``, or ``"sequential"``.
+        support it), ``"batched"``, ``"sequential"``, or ``"counts"`` (the
+        sufficient-statistic engine — explicit opt-in, never auto-selected;
+        requires count-capable protocol/initializer/sampler components).
     measure:
         Measurement descriptor; kinds live in the sweep runner's registry.
     sampler:
@@ -158,6 +161,13 @@ class RunSpec:
         Batched-engine settle window: converged replicas keep stepping this
         many rounds before retiring (trace consumers; ignored by the
         sequential engine, which steps on explicitly).
+    population:
+        Population-layout component ``{"name": ..., params}`` (population
+        registry), or ``None`` for the standard source-pinned layout built
+        from the shape fields. ``{"name": "standard"}`` is the same layout
+        declared explicitly; ``{"name": "majority", "k0": ..., "k1": ...}``
+        builds the Section-1.2 majority variant (crafted layouts force the
+        per-trial population path and are rejected by the counts engine).
     seed:
         Base RNG seed of the condition. Sweep cells carry a derived seed.
     """
@@ -175,6 +185,7 @@ class RunSpec:
     num_sources: int = 1
     correct_opinion: int = 1
     linger_rounds: int = 0
+    population: dict | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -188,9 +199,10 @@ class RunSpec:
             raise ValueError(f"stability_rounds must be >= 1, got {self.stability_rounds}")
         if self.linger_rounds < 0:
             raise ValueError(f"linger_rounds must be >= 0, got {self.linger_rounds}")
-        if self.engine not in ("auto", "batched", "sequential"):
+        if self.engine not in ("auto", "batched", "sequential", "counts"):
             raise ValueError(
-                f"engine must be 'auto', 'batched' or 'sequential', got {self.engine!r}"
+                f"engine must be 'auto', 'batched', 'sequential' or 'counts', "
+                f"got {self.engine!r}"
             )
         if not 0.0 <= self.noise <= 0.5:
             raise ValueError(f"noise levels must be in [0, 1/2], got {self.noise}")
@@ -231,6 +243,8 @@ class RunSpec:
             out["correct_opinion"] = self.correct_opinion
         if self.linger_rounds != 0:
             out["linger_rounds"] = self.linger_rounds
+        if self.population is not None:
+            out["population"] = self.population
         return out
 
     def to_dict(self) -> dict:
@@ -264,6 +278,8 @@ class RunSpec:
             parts.append(self.sampler["name"])
         if self.num_sources != 1:
             parts.append(f"sources={self.num_sources}")
+        if self.population is not None:
+            parts.append(f"pop={self.population['name']}")
         parts.append(self.initializer["name"])
         return " ".join(parts)
 
@@ -302,6 +318,23 @@ class RunSpec:
 
         return build_initializer(self.initializer)
 
+    def population_factory(self) -> Callable[[], "PopulationState"] | None:
+        """Factory for the declared population layout, or ``None`` when the
+        engines should build the standard layout natively from the shape
+        fields (no component declared, or the explicit ``standard`` one —
+        resolving ``standard`` to "no override" keeps the vectorized
+        batch-initialization and counts fast paths available)."""
+        if self.population is None:
+            return None
+        from .sweep.registry import population_factory
+
+        return population_factory(
+            self.population,
+            self.n,
+            num_sources=self.num_sources,
+            correct_opinion=self.correct_opinion,
+        )
+
     def samplers(self) -> tuple[Callable[[], "Sampler"] | None, "BatchedSampler | None"]:
         """The paired (scalar factory, batched) observation components.
 
@@ -325,8 +358,13 @@ class RunSpec:
         return None, BatchedBinomialSampler()
 
     def use_batched(self, protocol: "Protocol") -> bool:
-        """Engine resolution for a live protocol instance."""
-        if self.engine == "sequential":
+        """Engine resolution for a live protocol instance.
+
+        ``"counts"`` reports ``False`` here: the sufficient-statistic engine
+        is neither per-agent path, and its consumers dispatch on
+        ``engine == "counts"`` explicitly before asking this question.
+        """
+        if self.engine in ("sequential", "counts"):
             return False
         if self.engine == "batched":
             return True
@@ -384,3 +422,22 @@ class RunSpec:
         from .experiments.harness import make_batched_engine
 
         return make_batched_engine(self, protocol=protocol, initializer=initializer)
+
+    def count_engine(
+        self,
+        *,
+        protocol: "Protocol | None" = None,
+        initializer: "Initializer | None" = None,
+    ) -> "CountEngine":
+        """A fully prepared sufficient-statistic engine for this condition.
+
+        The counts analogue of :meth:`batched_engine`: builds the initialized
+        ``(R, S)`` state-count matrix, resolves the fraction-keyed observation
+        component, and returns a :class:`~repro.core.counts.CountEngine`
+        ready to ``run``. Raises when any declared component has no
+        count-level form (per-agent initializers, the index sampler,
+        protocols without a count model).
+        """
+        from .experiments.harness import make_count_engine
+
+        return make_count_engine(self, protocol=protocol, initializer=initializer)

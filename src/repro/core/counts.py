@@ -1,0 +1,537 @@
+"""Sufficient-statistic simulation: R replicas as ``(R, num_states)`` counts.
+
+Every batch-vectorized protocol in this repository observes the population
+only through its one-fraction, and per-agent state lives in a small finite
+set — so an exchangeable replica is fully described by its *state-count
+vector*, not an ``(R, n)`` opinion matrix. This module is the third engine
+built on that observation:
+
+* :class:`CountPopulation` holds the ``(R, S)`` matrix of non-source state
+  counts (``S = protocol.count_states()``), the shared source structure, and
+  the per-state displayed opinions — enough to answer every question the
+  engine contract asks (one-fractions, consensus predicates, non-source
+  correct fraction) in O(S) per replica;
+* :class:`CountEngine` drives it with the exact semantics of
+  :class:`~repro.core.batch.BatchedEngine.run`: per-replica stability
+  windows, ``t_con`` accounting, retirement with a compact working set,
+  ``linger_rounds`` settle windows, and the ``recorder=`` hook emitting
+  per-round one-fractions — so traces and measures work unchanged.
+
+Per-round memory and compute are O(S) per replica, independent of ``n``:
+stepping draws per-state observation-count distributions multinomially
+(:meth:`~repro.core.protocol.Protocol.step_counts`), maps them through the
+decision rule, and re-aggregates — no per-agent arrays anywhere. That turns
+n = 10^6–10^8 populations into routine sweep cells.
+
+What the counts path cannot express (and rejects with clear errors):
+
+* per-agent observation models — the literal index sampler materializes
+  sampled identities, which do not exist here; the engine consumes the
+  observation model through the
+  :meth:`~repro.core.sampling.BatchedBinomialSampler.effective_fractions`
+  seam alone (noise included);
+* crafted per-agent configurations — adversarial initializers that place
+  specific agents in specific states declare ``supports_counts = False``;
+* per-replica flip counts — which agents flipped is not a function of the
+  sufficient statistic, so recorders with ``record_flips=True`` are
+  rejected.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..telemetry.registry import current_registry
+from ..telemetry.spans import span
+from .batch import BatchRunResult
+from .protocol import Protocol
+from .rng import as_rng
+from .sampling import BatchedBinomialSampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; trace layers on core
+    from ..trace.recorder import TraceRecorder
+
+__all__ = [
+    "CountPopulation",
+    "CountEngine",
+    "make_count_population",
+]
+
+
+class CountPopulation:
+    """R replicas of one population as a single ``(R, S)`` state-count matrix.
+
+    ``counts[r, s]`` is the number of *non-source* agents of replica ``r``
+    in count state ``s``; ``display[s]`` is the opinion bit an agent in state
+    ``s`` shows. Sources are not tracked per state: in the canonical layout
+    (every source prefers ``correct_opinion`` and is re-pinned each round)
+    their displayed opinion is always ``correct_opinion`` and their internal
+    state never influences the dynamics, so they contribute a constant to
+    every one-count.
+
+    All replicas share the source structure; each row is an independent
+    count vector. The per-replica one-counts are cached exactly like
+    :class:`~repro.core.batch.BatchedPopulation` caches its counts; callers
+    that write into ``counts`` directly must call :meth:`invalidate_cache`.
+    """
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        display: np.ndarray,
+        *,
+        n: int,
+        num_sources: int = 1,
+        correct_opinion: int = 1,
+    ) -> None:
+        self.counts = np.asarray(counts, dtype=np.int64)
+        self.display = np.asarray(display, dtype=np.uint8)
+        self._n = int(n)
+        self._num_sources = int(num_sources)
+        self.correct_opinion = int(correct_opinion)
+        if self.counts.ndim != 2:
+            raise ValueError(f"counts must have shape (R, S), got {self.counts.shape}")
+        replicas, states = self.counts.shape
+        if replicas < 1:
+            raise ValueError("count population needs at least one replica")
+        if states < 1:
+            raise ValueError("count population needs at least one state")
+        if self.display.shape != (states,):
+            raise ValueError(
+                f"display must have shape ({states},), got {self.display.shape}"
+            )
+        if not np.isin(self.display, (0, 1)).all():
+            raise ValueError("display must be 0/1 valued")
+        if self._n < 2:
+            raise ValueError(f"population needs at least 2 agents, got {self._n}")
+        if self.correct_opinion not in (0, 1):
+            raise ValueError(f"correct_opinion must be 0 or 1, got {self.correct_opinion}")
+        if not 1 <= self._num_sources < self._n:
+            raise ValueError(
+                f"num_sources must be in [1, n), got {self._num_sources} with n={self._n}"
+            )
+        if (self.counts < 0).any():
+            raise ValueError("state counts must be non-negative")
+        if not (self.counts.sum(axis=1) == self.n_free).all():
+            raise ValueError(
+                f"every replica's state counts must sum to n - num_sources = {self.n_free}"
+            )
+        self._ones_count: np.ndarray | None = None
+
+    @classmethod
+    def _trusted(
+        cls,
+        counts: np.ndarray,
+        display: np.ndarray,
+        n: int,
+        num_sources: int,
+        correct_opinion: int,
+    ) -> "CountPopulation":
+        """Wrap arrays known to satisfy the invariants, skipping validation —
+        for internal hot paths (row selection, engine write-back)."""
+        pop = object.__new__(cls)
+        pop.counts = counts
+        pop.display = display
+        pop._n = n
+        pop._num_sources = num_sources
+        pop.correct_opinion = correct_opinion
+        pop._ones_count = None
+        return pop
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def replicas(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def num_states(self) -> int:
+        return int(self.counts.shape[1])
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_sources(self) -> int:
+        return self._num_sources
+
+    @property
+    def n_free(self) -> int:
+        """Non-source agents per replica — what each count row sums to."""
+        return self._n - self._num_sources
+
+    @property
+    def sources_ones(self) -> int:
+        """1-opinions contributed by the (pinned, agreeing) sources."""
+        return self._num_sources if self.correct_opinion == 1 else 0
+
+    def count_ones(self) -> np.ndarray:
+        """Per-replica number of 1-opinions (sources included), shape ``(R,)``."""
+        if self._ones_count is None:
+            ones_mass = self.counts @ (self.display == 1).astype(np.int64)
+            self._ones_count = ones_mass + self.sources_ones
+        return self._ones_count
+
+    def fraction_ones(self) -> np.ndarray:
+        """Per-replica ``x_t``, shape ``(R,)``."""
+        return self.count_ones() / self._n
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached one-counts after a direct write into ``counts``."""
+        self._ones_count = None
+
+    # -------------------------------------------------------------- mutation
+
+    def set_counts(self, new_counts: np.ndarray) -> None:
+        """Replace all rows with a stepped ``(R, S)`` count matrix."""
+        new_counts = np.asarray(new_counts, dtype=np.int64)
+        if new_counts.shape != self.counts.shape:
+            raise ValueError("count matrix shape mismatch")
+        self.counts = new_counts
+        self.invalidate_cache()
+
+    # ------------------------------------------------------------ predicates
+
+    def at_consensus(self) -> np.ndarray:
+        """Per-replica: every agent outputs the same opinion. Shape ``(R,)``."""
+        ones = self.count_ones()
+        return (ones == 0) | (ones == self._n)
+
+    def at_correct_consensus(self) -> np.ndarray:
+        """Per-replica: every agent outputs the correct opinion. Shape ``(R,)``."""
+        ones = self.count_ones()
+        return ones == self._n if self.correct_opinion == 1 else ones == 0
+
+    def nonsource_correct_fraction(self) -> np.ndarray:
+        """Per-replica fraction of non-source agents on the correct opinion."""
+        correct_mass = self.counts @ (self.display == self.correct_opinion).astype(np.int64)
+        return correct_mass / self.n_free
+
+    # ----------------------------------------------------------------- misc
+
+    def select(self, rows: np.ndarray) -> "CountPopulation":
+        """New population holding only ``rows`` (boolean mask or index array).
+
+        Count rows are copied; the shared display vector is not. Used by the
+        engine to compact the working set when replicas retire.
+        """
+        sub = CountPopulation._trusted(
+            self.counts[rows],
+            self.display,
+            self._n,
+            self._num_sources,
+            self.correct_opinion,
+        )
+        if self._ones_count is not None:
+            sub._ones_count = self._ones_count[rows]
+        return sub
+
+    def copy(self) -> "CountPopulation":
+        return CountPopulation._trusted(
+            self.counts.copy(),
+            self.display.copy(),
+            self._n,
+            self._num_sources,
+            self.correct_opinion,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CountPopulation(replicas={self.replicas}, n={self._n}, "
+            f"num_states={self.num_states})"
+        )
+
+
+def make_count_population(
+    protocol: Protocol,
+    replicas: int,
+    n: int,
+    *,
+    num_sources: int = 1,
+    correct_opinion: int = 1,
+) -> CountPopulation:
+    """Clean-start count template — the counts analogue of
+    :func:`~repro.core.population.make_population`.
+
+    Every non-source agent starts in the clean-start state of the *wrong*
+    opinion (callers normally overwrite with an initializer's
+    ``apply_counts`` before running). Requires the protocol's clean start to
+    be deterministic given the opinion (a point mass per row of
+    :meth:`~repro.core.protocol.Protocol.count_init_state_pmf`), which holds
+    for every protocol in this repository; a stochastic clean start would
+    need an explicitly drawn count matrix instead.
+    """
+    if not getattr(protocol, "counts_supported", False):
+        raise ValueError(
+            f"protocol {protocol.name!r} does not support the counts engine "
+            "(counts_supported=False)"
+        )
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if correct_opinion not in (0, 1):
+        raise ValueError(f"correct_opinion must be 0 or 1, got {correct_opinion}")
+    if not 1 <= num_sources < n:
+        raise ValueError(f"num_sources must be in [1, n), got {num_sources}")
+    states = protocol.count_states()
+    wrong_row = np.asarray(protocol.count_init_state_pmf(), dtype=float)[1 - correct_opinion]
+    start = int(np.argmax(wrong_row))
+    if wrong_row[start] != 1.0:
+        raise ValueError(
+            f"protocol {protocol.name!r} has a stochastic clean start; build the "
+            "initial CountPopulation from explicitly drawn counts instead"
+        )
+    counts = np.zeros((replicas, states), dtype=np.int64)
+    counts[:, start] = n - num_sources
+    return CountPopulation(
+        counts,
+        protocol.count_display(),
+        n=n,
+        num_sources=num_sources,
+        correct_opinion=correct_opinion,
+    )
+
+
+class CountEngine:
+    """Lock-step driver for R count replicas with per-replica retirement.
+
+    The counts analogue of :class:`~repro.core.batch.BatchedEngine`, meeting
+    the same ``run`` contract (stability windows, ``t_con`` accounting,
+    retirement, linger, ``recorder=``) so every consumer above the harness —
+    traces, the θ and trace sweep measures, telemetry — works unchanged.
+
+    Parameters
+    ----------
+    protocol:
+        Must declare ``counts_supported = True`` and implement the count
+        model (:meth:`~repro.core.protocol.Protocol.step_counts` and
+        friends).
+    population:
+        The :class:`CountPopulation` to simulate. After :meth:`run`,
+        ``population.counts`` holds every replica's final state counts
+        (frozen at retirement).
+    sampler:
+        Observation model, consumed **only** through its
+        ``effective_fractions`` seam (any
+        :class:`~repro.core.sampling.BatchedBinomialSampler`-family sampler,
+        noisy variants included). Defaults to the noiseless model.
+        Per-agent samplers (no such seam) are rejected.
+    rng:
+        Generator or integer seed for the shared dynamics stream.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        population: CountPopulation,
+        *,
+        sampler: BatchedBinomialSampler | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if not getattr(protocol, "counts_supported", False):
+            raise ValueError(
+                f"protocol {protocol.name!r} does not support the counts engine "
+                "(counts_supported=False); use the batched or sequential engine"
+            )
+        if sampler is None:
+            sampler = BatchedBinomialSampler()
+        if not hasattr(sampler, "effective_fractions"):
+            raise ValueError(
+                f"sampler {type(sampler).__name__} has no effective_fractions seam; "
+                "the counts engine draws its own multinomial transitions and only "
+                "supports fraction-keyed observation models "
+                "(the BatchedBinomialSampler family)"
+            )
+        states = protocol.count_states()
+        if population.num_states != states:
+            raise ValueError(
+                f"population has {population.num_states} states but protocol "
+                f"{protocol.name!r} defines {states}"
+            )
+        if not np.array_equal(population.display, protocol.count_display()):
+            raise ValueError(
+                f"population display vector does not match protocol {protocol.name!r}"
+            )
+        self.protocol = protocol
+        self.population = population
+        self.sampler = sampler
+        self.rng = as_rng(rng)
+        self.round_index = 0
+        self._consumed = False
+
+    def run(
+        self,
+        max_rounds: int,
+        *,
+        stability_rounds: int = 2,
+        stop_condition: Callable[[CountPopulation], np.ndarray] | None = None,
+        recorder: "TraceRecorder | None" = None,
+        linger_rounds: int = 0,
+    ) -> BatchRunResult:
+        """Run until every replica converged (condition held for
+        ``stability_rounds`` consecutive observations) or ``max_rounds``.
+
+        Same contract as :meth:`~repro.core.batch.BatchedEngine.run` —
+        ``stop_condition`` maps a :class:`CountPopulation` to an ``(A,)``
+        boolean vector, ``recorder`` captures per-round one-fractions with
+        retired rows frozen, ``linger_rounds`` keeps locked replicas stepping
+        their settle window out (past ``max_rounds`` if needed), and the
+        engine is single-shot. Recorders asking for flip counts are rejected:
+        which agents flipped is not a function of the sufficient statistic.
+        """
+        with span("engine.run", engine="counts"):
+            return self._run(
+                max_rounds,
+                stability_rounds=stability_rounds,
+                stop_condition=stop_condition,
+                recorder=recorder,
+                linger_rounds=linger_rounds,
+            )
+
+    def _run(
+        self,
+        max_rounds: int,
+        *,
+        stability_rounds: int,
+        stop_condition: Callable[[CountPopulation], np.ndarray] | None,
+        recorder: "TraceRecorder | None",
+        linger_rounds: int,
+    ) -> BatchRunResult:
+        if self._consumed:
+            raise RuntimeError(
+                "CountEngine.run is single-shot; build a fresh engine to run again"
+            )
+        self._consumed = True
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if stability_rounds < 1:
+            raise ValueError(f"stability_rounds must be >= 1, got {stability_rounds}")
+        if linger_rounds < 0:
+            raise ValueError(f"linger_rounds must be non-negative, got {linger_rounds}")
+        if recorder is not None and getattr(recorder, "record_flips", False):
+            raise ValueError(
+                "the counts engine cannot record flips: per-agent flip counts "
+                "are not a function of the state-count sufficient statistic; "
+                "use engine='batched' for flip recording"
+            )
+        condition = stop_condition or CountPopulation.at_correct_consensus
+        metrics = current_registry()
+        run_start = time.perf_counter() if metrics is not None else 0.0
+        draw_seconds = 0.0
+
+        total = self.population.replicas
+        converged = np.zeros(total, dtype=bool)
+        rounds = np.zeros(total, dtype=np.int64)
+        rounds_executed = np.zeros(total, dtype=np.int64)
+
+        # Compact working set: only rows still running. ``ids`` maps working
+        # row -> replica index in the full population.
+        ids = np.arange(total)
+        work = self.population.select(ids)
+
+        if recorder is not None:
+            recorder.bind(
+                replicas=total,
+                n=self.population.n,
+                num_sources=self.population.num_sources,
+                sources_correct=self.population.num_sources,
+                correct_opinion=self.population.correct_opinion,
+                pin_each_round=True,
+            )
+            # Full-batch value vector; retired rows simply stop being
+            # written, which freezes them at their final values.
+            current_x = work.fraction_ones().astype(float)
+            recorder.on_round(0, current_x, None)
+
+        ok = condition(work)
+        streak = ok.astype(np.int64)
+        first_hit = np.where(ok, 0, -1)
+        locked = np.zeros(total, dtype=bool)
+        locked_round = np.full(total, -1, dtype=np.int64)
+        countdown = np.zeros(total, dtype=np.int64)
+        rounds_done = 0
+
+        while True:
+            newly_locked = ~locked & (streak >= stability_rounds)
+            if newly_locked.any():
+                locked_round = np.where(newly_locked, first_hit, locked_round)
+                countdown = np.where(newly_locked, linger_rounds, countdown)
+                locked = locked | newly_locked
+            done = locked & (countdown <= 0)
+            if rounds_done >= max_rounds:
+                # Budget exhausted: unconverged replicas stop here; locked
+                # replicas mid-linger keep stepping their settle window out.
+                done = done | ~locked
+            if done.any():
+                retired = ids[done]
+                conv = locked[done]
+                converged[retired] = conv
+                rounds[retired] = np.where(conv, locked_round[done], rounds_done)
+                rounds_executed[retired] = rounds_done
+                self.population.counts[retired] = work.counts[done]
+                keep = ~done
+                ids = ids[keep]
+                streak = streak[keep]
+                first_hit = first_hit[keep]
+                locked = locked[keep]
+                locked_round = locked_round[keep]
+                countdown = countdown[keep]
+                if ids.size:
+                    work = work.select(keep)
+            if ids.size == 0:
+                break
+            x_eff = np.asarray(self.sampler.effective_fractions(work), dtype=float)
+            draw_start = time.perf_counter() if metrics is not None else 0.0
+            new_counts = self.protocol.step_counts(work.counts, x_eff, self.rng)
+            if metrics is not None:
+                draw_seconds += time.perf_counter() - draw_start
+            work.set_counts(new_counts)
+            rounds_done += 1
+            self.round_index += 1
+            countdown = countdown - locked
+            ok = condition(work)
+            # Locked replicas stop tracking the condition: their outcome was
+            # sealed at detection (mirrors the batched engine exactly).
+            tracking = ~locked
+            newly_ok = ok & (streak == 0) & tracking
+            streak = np.where(tracking, np.where(ok, streak + 1, 0), streak)
+            first_hit = np.where(
+                tracking,
+                np.where(ok, np.where(newly_ok, rounds_done, first_hit), -1),
+                first_hit,
+            )
+            if recorder is not None:
+                current_x[ids] = work.fraction_ones()
+                recorder.on_round(rounds_done, current_x, None)
+
+        self.population.invalidate_cache()
+        if metrics is not None:
+            metrics.counter(
+                "repro_engine_rounds_total",
+                "Lock-step synchronous rounds executed, by engine.",
+                engine="counts",
+            ).inc(rounds_done)
+            metrics.counter(
+                "repro_engine_replicas_retired_total",
+                "Replicas that left the batched working set (converged, "
+                "lingered out, or budget-exhausted).",
+            ).inc(total)
+            metrics.histogram(
+                "repro_engine_run_seconds",
+                "Wall-clock seconds per engine run() call, by engine.",
+                engine="counts",
+            ).observe(time.perf_counter() - run_start)
+            metrics.histogram(
+                "repro_counts_draw_seconds",
+                "Wall-clock seconds spent in count-level multinomial "
+                "transitions (step_counts) per counts-engine run.",
+            ).observe(draw_seconds)
+        return BatchRunResult(
+            converged=converged,
+            rounds=rounds,
+            rounds_executed=rounds_executed,
+            final_fractions=self.population.fraction_ones(),
+        )

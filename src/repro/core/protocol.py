@@ -55,6 +55,12 @@ class Protocol(ABC):
     #: on the generic per-replica fallback leave it ``False`` so dispatchers
     #: (``run_trials(engine="auto")``) know the batched path is a fast path.
     batch_vectorized: bool = False
+    #: ``True`` when the protocol exposes the sufficient-statistic count model
+    #: (:meth:`count_states` / :meth:`step_counts` / the pmf hooks) consumed by
+    #: the counts engine (``core/counts.py``). Requires that an agent's full
+    #: behaviour is a function of its discrete state and the population
+    #: one-fraction alone — no identity-dependent draws.
+    counts_supported: bool = False
 
     @abstractmethod
     def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
@@ -150,6 +156,66 @@ class Protocol(ABC):
             for key in states:
                 states[key][r] = replica_state[key]
         return out
+
+    # ---------------------------------------------------------- count model
+    #
+    # The sufficient-statistic interface behind ``engine="counts"``. A count
+    # state is one point of the protocol's finite per-agent state space
+    # (opinion bit plus internal variables); an exchangeable replica is then
+    # fully described by its ``(S,)`` state-count vector and is stepped in
+    # O(S) via multinomial transitions, independent of ``n``. Protocols that
+    # implement the four hooks below set ``counts_supported = True``.
+
+    def count_states(self) -> int:
+        """Number of discrete per-agent states ``S`` in the count model."""
+        raise NotImplementedError(
+            f"{self.name} does not define a count model (counts_supported=False)"
+        )
+
+    def count_display(self) -> np.ndarray:
+        """``(S,)`` uint8 vector: the opinion bit displayed by each state."""
+        raise NotImplementedError(
+            f"{self.name} does not define a count model (counts_supported=False)"
+        )
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        """``(2, S)`` rows: clean-start state distribution given opinion o.
+
+        Row ``o`` is the probability vector over count states for an agent
+        whose opinion bit is ``o`` and whose internal state was drawn by
+        :meth:`init_state`.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not define a count model (counts_supported=False)"
+        )
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        """``(2, S)`` rows: adversarial-uniform state distribution given o.
+
+        Row ``o`` is the distribution over count states for an agent with
+        opinion ``o`` whose internal state was drawn by
+        :meth:`randomize_state`.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not define a count model (counts_supported=False)"
+        )
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance ``(A, S)`` state-count matrices one synchronous round.
+
+        ``counts[a, s]`` is the number of non-source agents of replica ``a``
+        in count state ``s``; ``x_eff`` is the ``(A,)`` effective one-fraction
+        each agent's samples are drawn against (noise already applied by the
+        engine's sampler seam). Draws per-state observation-count
+        distributions multinomially, maps them through the decision rule, and
+        returns the re-aggregated ``(A, S)`` int64 matrix — no per-agent
+        arrays anywhere.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not define a count model (counts_supported=False)"
+        )
 
     # ------------------------------------------------------------ accounting
 

@@ -210,13 +210,18 @@ class BatchedSampler(ABC):
 _INVERSION_CUTOFF = 3.0
 
 #: Far below the inversion cutoff the draws are almost all 0 (or almost all
-#: ℓ): at this tail the non-modal probability is ``1 - e^{-tail} ≈ 0.22`` or
+#: ℓ): at this tail the non-modal probability is ``1 - e^{-tail} ≈ 0.33`` or
 #: less, and generating only the rare non-modal draws by geometric-gap
-#: placement beats any per-element generator (measured crossover vs numpy's
-#: scalar-p inversion is ~0.25; the advantage grows to ~10× as the tail
-#: shrinks). Near-consensus rows — the bulk of all-wrong openings,
-#: noise-hover rounds, and linger/settle windows — sit deep inside this band.
-_SPARSE_CUTOFF = 0.25
+#: placement beats any per-element generator (the crossover vs numpy's
+#: scalar-p inversion is shallow between ~0.25 and ~0.5, and the advantage
+#: grows to ~10× as the tail shrinks). The cutoff sits at 0.4 rather than at
+#: the nominal ~0.25 crossover because the noisy-FET hover band parks whole
+#: sweeps at ``ℓ·(1-x̃) ≈ 0.3`` — with the trend rule pinning ``x̃`` just off
+#: consensus, every round of every replica lands there — and routing that
+#: band to the sparse path is a measured win while costing nothing in the
+#: shallow-crossover region. Near-consensus rows — all-wrong openings,
+#: noise-hover rounds, and linger/settle windows — sit inside this band.
+_SPARSE_CUTOFF = 0.4
 
 #: Guards against log(0) when building pmfs; distorts probabilities by less
 #: than one float64 ulp, i.e. below the resolution of the draws themselves.
@@ -460,7 +465,8 @@ def batched_binomial_counts(
       one end, where it costs O(non-modal draws) instead of O(elements).
     * ``"auto"`` (default) — tiered: rows at exactly ``x ∈ {0, 1}`` (consensus
       configurations, the bulk of stability-window rounds) are deterministic
-      fills; near-consensus rows (``ℓ·min(x, 1-x) ≤ 0.25``) use the sparse
+      fills; near-consensus rows (``ℓ·min(x, 1-x) ≤ 0.4``, a band wide
+      enough to cover the noisy-FET hover fractions) use the sparse
       geometric-gap generator; rows hugging one end less tightly
       (``ℓ·min(x, 1-x) ≤ 3``) use numpy's scalar-p generator grouped by
       distinct ``x`` value, where its inversion loop is short; remaining
@@ -561,6 +567,18 @@ class BatchedBinomialSampler(BatchedSampler):
     def _fractions(self, batch: "BatchedPopulation") -> np.ndarray:
         """Per-replica effective one-fractions; hook for noisy variants."""
         return batch.fraction_ones()
+
+    def effective_fractions(self, batch: "BatchedPopulation") -> np.ndarray:
+        """Public seam: the ``(R,)`` one-fraction vector draws are keyed on.
+
+        The counts engine consumes the observation model through this method
+        alone — it needs the effective fraction each agent samples against
+        (noise included, for noisy variants) and draws its own multinomial
+        transitions from it, so any sampler in the ``BatchedBinomialSampler``
+        family works on the counts path without materializing per-agent
+        draws. ``batch`` may be any object exposing ``fraction_ones()``.
+        """
+        return self._fractions(batch)
 
     def counts(
         self,

@@ -33,6 +33,15 @@ Two execution engines are available (``engine`` policy):
   ``step_batch`` (``Protocol.batch_vectorized``) and the observation model
   has a batched side; sequential otherwise. ``engine="sequential"`` remains
   the explicit escape hatch for bitwise per-trial streams.
+* ``"counts"`` — explicit opt-in to the sufficient-statistic
+  :class:`~repro.core.counts.CountEngine`: replicas are ``(S,)`` state-count
+  vectors, one multinomial-family transition per round, O(num_states) memory
+  regardless of ``n``. Exact in distribution for exchangeable populations
+  but a *different* RNG consumption pattern, so per-trial streams do not
+  match the other engines bitwise (aggregates are KS-equivalent). Requires
+  a count-model protocol (``Protocol.counts_supported``), a count-capable
+  initializer (``Initializer.supports_counts``), and a fraction-keyed
+  observation model; ``"auto"`` never selects it.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ import numpy as np
 
 from ..config import RunSpec
 from ..core.batch import BatchedEngine, BatchedPopulation, stack_states
+from ..core.counts import CountEngine, CountPopulation, make_count_population
 from ..core.engine import SynchronousEngine
 from ..core.population import PopulationState, make_population
 from ..core.protocol import Protocol, ProtocolState
@@ -58,7 +68,9 @@ __all__ = [
     "TrialStats",
     "execute_run",
     "make_batched_engine",
+    "make_count_engine",
     "prepare_batch",
+    "prepare_counts",
     "run_trials",
 ]
 
@@ -189,15 +201,28 @@ def execute_run(
     (exactly the legacy contract); declarative samplers are always paired
     by the registry.
     """
-    if spec.engine == "batched" and sampler_factory is not None and batched_sampler is None:
+    if spec.engine in ("batched", "counts") and sampler_factory is not None and batched_sampler is None:
         raise ValueError(
             "a custom sampler_factory needs a matching batched_sampler "
-            "for the batched engine"
+            f"for the {spec.engine} engine"
+        )
+    if spec.engine == "counts" and population_factory is not None:
+        raise ValueError(
+            "population_factory builds a per-agent layout; the counts engine "
+            "tracks state counts only — use engine='batched' or 'sequential'"
         )
     if protocol_factory is None:
         protocol_factory = spec.protocol_factory()
     if initializer is None:
         initializer = spec.build_initializer()
+    if population_factory is None and spec.population is not None:
+        population_factory = spec.population_factory()
+        if spec.engine == "counts" and population_factory is not None:
+            raise ValueError(
+                f"population {spec.population['name']!r} is a crafted "
+                "per-agent layout; the counts engine only models the "
+                "standard source-pinned population"
+            )
     if sampler_factory is None and batched_sampler is None:
         sampler_factory, batched_sampler = spec.samplers()
         if spec.engine == "batched" and batched_sampler is None:
@@ -205,9 +230,17 @@ def execute_run(
                 f"sampler {spec.sampler!r} has no batched observation model; "
                 "this condition can only run on the sequential engine"
             )
+        if spec.engine == "counts" and batched_sampler is None:
+            raise ValueError(
+                f"sampler {spec.sampler!r} has no fraction-keyed batched "
+                "observation model; this condition cannot run on the counts "
+                "engine"
+            )
     # The declared population shape (n, num_sources, correct_opinion) is
-    # built natively by both engine paths — population_factory stays an
-    # override-only escape hatch for crafted layouts.
+    # built natively by both per-agent engine paths; a declarative
+    # ``population`` component resolves to a factory above (``standard``
+    # resolves to None, i.e. the native path), and the keyword stays the
+    # escape hatch for layouts with no declarative form.
     max_rounds = spec.resolved_max_rounds()
 
     probe: Protocol | None = None
@@ -221,6 +254,10 @@ def execute_run(
         # rather than an error — sweep grids may legitimately zip in empty
         # cells, and downstream table code handles the NaNs already.
         probe = probe if probe is not None else protocol_factory()
+        if spec.engine == "counts":
+            idle_engine = "counts"
+        else:
+            idle_engine = "batched" if use_batched else "sequential"
         return TrialStats(
             protocol_name=probe.name,
             initializer_name=initializer.name,
@@ -229,7 +266,16 @@ def execute_run(
             max_rounds=max_rounds,
             successes=0,
             times=np.empty(0, dtype=float),
-            engine="batched" if use_batched else "sequential",
+            engine=idle_engine,
+        )
+    if spec.engine == "counts":
+        return _run_trials_counts(
+            probe if probe is not None else protocol_factory(),
+            spec,
+            initializer,
+            batched_sampler=batched_sampler,
+            max_rounds=max_rounds,
+            keep_results=keep_results,
         )
     if use_batched:
         return _run_trials_batched(
@@ -373,6 +419,8 @@ def make_batched_engine(
                 f"sampler {spec.sampler!r} has no batched observation model; "
                 "this condition can only run on the sequential engine"
             )
+    if population_factory is None and spec.population is not None:
+        population_factory = spec.population_factory()
     batch, states, rng = prepare_batch(
         protocol,
         spec.n,
@@ -444,4 +492,119 @@ def _run_trials_batched(
         times=result.times(),
         results=results,
         engine="batched",
+    )
+
+
+def prepare_counts(
+    protocol: Protocol,
+    n: int,
+    initializer: Initializer,
+    *,
+    trials: int,
+    seed: int,
+    correct_opinion: int = 1,
+    num_sources: int = 1,
+) -> tuple[CountPopulation, np.random.Generator]:
+    """Build the initialized ``(R, S)`` count population for ``trials`` trials.
+
+    The counts analogue of :func:`prepare_batch`: one stream initializes
+    every replica's state-count vector via the initializer's count-level
+    application, the second drives the lock-step dynamics. There is no
+    per-agent fallback — initializers without ``supports_counts`` are a
+    hard error, because a crafted per-agent layout has no faithful
+    sufficient-statistic representation.
+    """
+    if not initializer.supports_counts:
+        raise ValueError(
+            f"initializer {initializer.name!r} builds per-agent configurations "
+            "(supports_counts=False); the counts engine needs an exchangeable "
+            "count-level initializer — use engine='batched' or 'sequential'"
+        )
+    init_rng, dyn_rng = spawn_rngs(seed, 2)
+    population = make_count_population(
+        protocol, trials, n, num_sources=num_sources, correct_opinion=correct_opinion
+    )
+    initializer.apply_counts(population, protocol, init_rng)
+    return population, dyn_rng
+
+
+def make_count_engine(
+    spec: RunSpec,
+    *,
+    protocol: Protocol | None = None,
+    initializer: Initializer | None = None,
+    sampler: BatchedSampler | None = None,
+) -> CountEngine:
+    """A fully prepared sufficient-statistic engine for ``spec`` — the core
+    behind :meth:`RunSpec.count_engine`.
+
+    Resolves the protocol, initializer, and fraction-keyed observation model
+    from the spec (live-object keywords override), draws the initial count
+    matrix on the spec's seed, and returns the engine ready to ``run``.
+    Raises when any component has no count-level form: a protocol without a
+    count model, a per-agent initializer, or an observation model that is
+    not keyed on one-fractions.
+    """
+    if protocol is None:
+        protocol = spec.build_protocol()
+    if initializer is None:
+        initializer = spec.build_initializer()
+    if sampler is None:
+        sampler = spec.samplers()[1]
+        if sampler is None:
+            raise ValueError(
+                f"sampler {spec.sampler!r} has no fraction-keyed batched "
+                "observation model; this condition cannot run on the counts "
+                "engine"
+            )
+    population, rng = prepare_counts(
+        protocol,
+        spec.n,
+        initializer,
+        trials=spec.trials,
+        seed=spec.seed,
+        correct_opinion=spec.correct_opinion,
+        num_sources=spec.num_sources,
+    )
+    return CountEngine(protocol, population, sampler=sampler, rng=rng)
+
+
+def _run_trials_counts(
+    protocol: Protocol,
+    spec: RunSpec,
+    initializer: Initializer,
+    *,
+    batched_sampler: BatchedSampler | None,
+    max_rounds: int,
+    keep_results: bool,
+) -> TrialStats:
+    """All trials as one ``(R, S)`` count matrix on the sufficient-statistic
+    engine.
+
+    ``keep_results`` works the same way as on the batched path: a
+    :class:`~repro.trace.FullTrace` recorder captures the per-round
+    one-fraction matrix and is converted back into per-trial
+    :class:`RunResult` objects.
+    """
+    engine = make_count_engine(
+        spec, protocol=protocol, initializer=initializer, sampler=batched_sampler
+    )
+    recorder = FullTrace() if keep_results else None
+    result = engine.run(
+        max_rounds,
+        stability_rounds=spec.stability_rounds,
+        recorder=recorder,
+        linger_rounds=spec.linger_rounds,
+    )
+    results = recorder.trace().to_run_results(result) if recorder is not None else []
+    return TrialStats(
+        protocol_name=protocol.name,
+        initializer_name=initializer.name,
+        n=spec.n,
+        trials=spec.trials,
+        max_rounds=max_rounds,
+        successes=result.successes,
+        times=result.times(),
+        results=results,
+        engine="counts",
     )

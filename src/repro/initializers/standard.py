@@ -21,9 +21,14 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.counts import CountPopulation
 
 __all__ = [
     "Initializer",
@@ -43,6 +48,11 @@ class Initializer(ABC):
     #: one vectorized call; harnesses fall back to per-replica :meth:`apply`
     #: otherwise.
     supports_batch: bool = False
+    #: ``True`` when :meth:`apply_counts` can express the initial distribution
+    #: at the count level (exchangeable over non-source agents). Crafted
+    #: per-agent constructions stay ``False`` and are rejected by the counts
+    #: engine dispatch.
+    supports_counts: bool = False
 
     @abstractmethod
     def apply(
@@ -67,6 +77,25 @@ class Initializer(ABC):
         Only available when ``supports_batch`` is ``True``.
         """
         raise NotImplementedError(f"{type(self).__name__} does not support batched application")
+
+    def apply_counts(
+        self,
+        population: "CountPopulation",
+        protocol: Protocol,
+        rng: np.random.Generator,
+    ) -> None:
+        """Install the initial state-count distribution into every replica.
+
+        The counts analogue of :meth:`apply_batch`: draws each replica's
+        ``(S,)`` state-count vector directly (multinomial over the joint
+        opinion/internal-state distribution this initializer induces), with
+        no per-agent arrays. Exact in distribution for exchangeable
+        initializers; only available when ``supports_counts`` is ``True``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support count-level application "
+            "(supports_counts=False)"
+        )
 
     def spec(self) -> dict:
         """Declarative ``{"name": ..., params}`` form for sweep cells.
@@ -104,6 +133,7 @@ class AllWrong(Initializer):
 
     name = "all-wrong"
     supports_batch = True
+    supports_counts = True
 
     def apply(self, population, protocol, state, rng) -> None:
         wrong = 1 - population.correct_opinion
@@ -117,6 +147,15 @@ class AllWrong(Initializer):
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
+    def apply_counts(self, population, protocol, rng) -> None:
+        # Every non-source shows the wrong opinion with adversarial-uniform
+        # internal state: one multinomial over that opinion's state row.
+        wrong = 1 - population.correct_opinion
+        pmf = protocol.count_random_state_pmf()[wrong]
+        population.set_counts(
+            rng.multinomial(population.n_free, pmf, size=population.replicas)
+        )
+
     def spec(self) -> dict:
         return {"name": "all-wrong"}
 
@@ -126,6 +165,7 @@ class AllCorrect(Initializer):
 
     name = "all-correct"
     supports_batch = True
+    supports_counts = True
 
     def apply(self, population, protocol, state, rng) -> None:
         opinions = np.full(population.n, population.correct_opinion, dtype=np.uint8)
@@ -136,6 +176,12 @@ class AllCorrect(Initializer):
         opinions = np.full((batch.replicas, batch.n), batch.correct_opinion, dtype=np.uint8)
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def apply_counts(self, population, protocol, rng) -> None:
+        pmf = protocol.count_random_state_pmf()[population.correct_opinion]
+        population.set_counts(
+            rng.multinomial(population.n_free, pmf, size=population.replicas)
+        )
 
     def spec(self) -> dict:
         return {"name": "all-correct"}
@@ -150,6 +196,7 @@ class BernoulliRandom(Initializer):
         self.p = p
         self.name = f"bernoulli(p={p})"
         self.supports_batch = True
+        self.supports_counts = True
 
     def apply(self, population, protocol, state, rng) -> None:
         opinions = (rng.random(population.n) < self.p).astype(np.uint8)
@@ -160,6 +207,16 @@ class BernoulliRandom(Initializer):
         opinions = (rng.random((batch.replicas, batch.n)) < self.p).astype(np.uint8)
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def apply_counts(self, population, protocol, rng) -> None:
+        # Non-source opinions are iid Bernoulli(p); with adversarial internal
+        # state the per-agent state distribution is the p-mixture of the two
+        # opinion rows, so each replica is one multinomial draw from it.
+        rows = protocol.count_random_state_pmf()
+        pmf = self.p * rows[1] + (1.0 - self.p) * rows[0]
+        population.set_counts(
+            rng.multinomial(population.n_free, pmf, size=population.replicas)
+        )
 
     def spec(self) -> dict:
         return {"name": "bernoulli", "p": self.p}
@@ -178,6 +235,7 @@ class ExactFraction(Initializer):
         self.x = x
         self.name = f"fraction(x={x})"
         self.supports_batch = True
+        self.supports_counts = True
 
     def apply(self, population, protocol, state, rng) -> None:
         n = population.n
@@ -199,6 +257,27 @@ class ExactFraction(Initializer):
         batch.adversarial_opinions(opinions, validate=False)
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
 
+    def apply_counts(self, population, protocol, rng) -> None:
+        # The scalar rule places round(x·n) ones uniformly among all n agents
+        # and then pins sources, so the number landing on non-sources is
+        # hypergeometric; internal state is adversarial-uniform per opinion.
+        ones = int(round(self.x * population.n))
+        n_free = population.n_free
+        replicas = population.replicas
+        if ones <= 0:
+            ones_free = np.zeros(replicas, dtype=np.int64)
+        elif ones >= population.n:
+            ones_free = np.full(replicas, n_free, dtype=np.int64)
+        else:
+            ones_free = rng.hypergeometric(
+                n_free, population.num_sources, ones, size=replicas
+            )
+        rows = protocol.count_random_state_pmf()
+        counts = rng.multinomial(ones_free, rows[1]) + rng.multinomial(
+            n_free - ones_free, rows[0]
+        )
+        population.set_counts(counts)
+
     def spec(self) -> dict:
         return {"name": "fraction", "x": self.x}
 
@@ -208,12 +287,23 @@ class RandomizeProtocolState(Initializer):
 
     name = "randomize-state"
     supports_batch = True
+    supports_counts = True
 
     def apply(self, population, protocol, state, rng) -> None:
         state.update(protocol.randomize_state(population.n, rng))
 
     def apply_batch(self, batch, protocol, states, rng) -> None:
         states.update(protocol.randomize_state_batch(batch.replicas, batch.n, rng))
+
+    def apply_counts(self, population, protocol, rng) -> None:
+        # Opinions keep their current per-replica totals; internal state is
+        # redrawn adversarial-uniform within each opinion class.
+        rows = protocol.count_random_state_pmf()
+        ones_mass = population.counts @ (population.display == 1).astype(np.int64)
+        counts = rng.multinomial(ones_mass, rows[1]) + rng.multinomial(
+            population.n_free - ones_mass, rows[0]
+        )
+        population.set_counts(counts)
 
     def spec(self) -> dict:
         return {"name": "randomize-state"}

@@ -32,6 +32,12 @@ from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
 from ..core.sampling import BatchedSampler, Sampler
+from .counting import (
+    prev_count_display,
+    prev_count_init_pmf,
+    prev_count_random_pmf,
+    two_block_trend_step_counts,
+)
 
 __all__ = ["FETProtocol", "ell_for", "DEFAULT_SAMPLE_CONSTANT"]
 
@@ -59,6 +65,7 @@ class FETProtocol(Protocol):
 
     passive = True
     batch_vectorized = True
+    counts_supported = True
 
     def __init__(self, ell: int) -> None:
         if ell < 1:
@@ -150,6 +157,29 @@ class FETProtocol(Protocol):
         new = lhs > prev2
         states["prev_count"] = blocks[1]
         return new.view(np.uint8)
+
+    # ---------------------------------------------------------- count model
+    #
+    # State ``s = opinion·(ℓ+1) + prev_count``. The carried counter is an
+    # independent second sample block, so the count transition factorizes
+    # (see ``two_block_trend_step_counts``); FET is the band-0 case.
+
+    def count_states(self) -> int:
+        return 2 * (self.ell + 1)
+
+    def count_display(self) -> np.ndarray:
+        return prev_count_display(self.ell)
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        return prev_count_init_pmf(self.ell)
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        return prev_count_random_pmf(self.ell)
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return two_block_trend_step_counts(counts, x_eff, rng, self.ell, 0)
 
     # ----------------------------------------------------------- accounting
 

@@ -37,6 +37,12 @@ from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
 from ..core.sampling import BatchedSampler, Sampler
+from .counting import (
+    prev_count_display,
+    prev_count_init_pmf,
+    prev_count_random_pmf,
+    two_block_trend_step_counts,
+)
 
 __all__ = ["HysteresisFETProtocol"]
 
@@ -46,6 +52,7 @@ class HysteresisFETProtocol(Protocol):
 
     passive = True
     batch_vectorized = True
+    counts_supported = True
 
     def __init__(self, ell: int, band: int) -> None:
         if ell < 1:
@@ -109,6 +116,29 @@ class HysteresisFETProtocol(Protocol):
         ).astype(np.uint8)
         states["prev_count"] = blocks[1]
         return new
+
+    # ---------------------------------------------------------- count model
+    #
+    # Same state space as FET (``s = opinion·(ℓ+1) + prev_count``); the
+    # dead-band only changes the adoption thresholds in the factorized
+    # transition. ``band = 0`` recovers FET's count model exactly.
+
+    def count_states(self) -> int:
+        return 2 * (self.ell + 1)
+
+    def count_display(self) -> np.ndarray:
+        return prev_count_display(self.ell)
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        return prev_count_init_pmf(self.ell)
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        return prev_count_random_pmf(self.ell)
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return two_block_trend_step_counts(counts, x_eff, rng, self.ell, self.band)
 
     def samples_per_round(self) -> int:
         return 2 * self.ell

@@ -15,7 +15,8 @@ import numpy as np
 from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import BatchedSampler, Sampler
+from ..core.sampling import BatchedSampler, Sampler, _binomial_pmf_rows
+from .counting import OPINION_DISPLAY, OPINION_STATE_PMF
 
 __all__ = ["MajorityProtocol"]
 
@@ -25,6 +26,7 @@ class MajorityProtocol(Protocol):
 
     passive = True
     batch_vectorized = True
+    counts_supported = True
 
     def __init__(self, k: int = 3) -> None:
         if k < 1 or k % 2 == 0:
@@ -54,6 +56,33 @@ class MajorityProtocol(Protocol):
     ) -> np.ndarray:
         counts = sampler.counts(batch, self.k, rng)
         return (2 * counts > self.k).astype(np.uint8)
+
+    # ---------------------------------------------------------- count model
+    #
+    # Stateless and opinion-independent (odd k, no ties): every agent adopts
+    # 1 with probability P(Binomial(k, x̃) > k/2), so the new one-count is a
+    # single binomial draw per replica.
+
+    def count_states(self) -> int:
+        return 2
+
+    def count_display(self) -> np.ndarray:
+        return OPINION_DISPLAY
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        return OPINION_STATE_PMF
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        return OPINION_STATE_PMF
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        pmf = _binomial_pmf_rows(self.k, x_eff)
+        p_one = pmf[:, (self.k + 1) // 2 :].sum(axis=1)
+        n_free = counts.sum(axis=1)
+        ones = rng.binomial(n_free, np.clip(p_one, 0.0, 1.0))
+        return np.stack([n_free - ones, ones], axis=1).astype(np.int64)
 
     def samples_per_round(self) -> int:
         return self.k

@@ -17,7 +17,8 @@ import numpy as np
 from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import BatchedSampler, Sampler
+from ..core.sampling import BatchedSampler, Sampler, _binomial_pmf_rows
+from .counting import OPINION_DISPLAY, OPINION_STATE_PMF
 
 __all__ = ["MajoritySamplingProtocol"]
 
@@ -27,6 +28,7 @@ class MajoritySamplingProtocol(Protocol):
 
     passive = True
     batch_vectorized = True
+    counts_supported = True
 
     def __init__(self, ell: int) -> None:
         if ell < 1:
@@ -66,6 +68,35 @@ class MajoritySamplingProtocol(Protocol):
             np.uint8(1),
             np.where(twice < self.ell, np.uint8(0), batch.opinions),
         ).astype(np.uint8)
+
+    # ---------------------------------------------------------- count model
+    #
+    # Stateless, but the tie-keep rule makes the adoption probability depend
+    # on the current opinion when ℓ is even: agents at opinion 1 also keep
+    # on the tie count ℓ/2. Two binomial splits (one per opinion class).
+
+    def count_states(self) -> int:
+        return 2
+
+    def count_display(self) -> np.ndarray:
+        return OPINION_DISPLAY
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        return OPINION_STATE_PMF
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        return OPINION_STATE_PMF
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        pmf = _binomial_pmf_rows(self.ell, x_eff)
+        p_up = pmf[:, self.ell // 2 + 1 :].sum(axis=1)
+        p_tie = pmf[:, self.ell // 2] if self.ell % 2 == 0 else 0.0
+        from_zero = rng.binomial(counts[:, 0], np.clip(p_up, 0.0, 1.0))
+        from_one = rng.binomial(counts[:, 1], np.clip(p_up + p_tie, 0.0, 1.0))
+        ones = from_zero + from_one
+        return np.stack([counts.sum(axis=1) - ones, ones], axis=1).astype(np.int64)
 
     def samples_per_round(self) -> int:
         return self.ell

@@ -20,7 +20,13 @@ import numpy as np
 from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
-from ..core.sampling import BatchedSampler, Sampler
+from ..core.sampling import BatchedSampler, Sampler, _binomial_pmf_rows
+from .counting import (
+    prev_count_display,
+    prev_count_init_pmf,
+    prev_count_random_pmf,
+    scatter_counts,
+)
 
 __all__ = ["SimpleTrendProtocol"]
 
@@ -30,12 +36,14 @@ class SimpleTrendProtocol(Protocol):
 
     passive = True
     batch_vectorized = True
+    counts_supported = True
 
     def __init__(self, ell: int) -> None:
         if ell < 1:
             raise ValueError(f"ell must be >= 1, got {ell}")
         self.ell = ell
         self.name = f"simple-trend(ell={ell})"
+        self._count_targets: np.ndarray | None = None
 
     def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
         return {"prev_count": np.zeros(n, dtype=np.int64)}
@@ -87,6 +95,46 @@ class SimpleTrendProtocol(Protocol):
         ).astype(np.uint8)
         states["prev_count"] = count
         return new
+
+    # ---------------------------------------------------------- count model
+    #
+    # Same state space as FET (``s = opinion·(ℓ+1) + prev``) but the kernel
+    # does NOT factorize: the carried counter *is* the compared count, so
+    # the new ``(opinion, prev)`` pair is a deterministic function of the
+    # source state and the single draw ``count ~ Binomial(ℓ, x̃)``. The
+    # transition is one multinomial split per source state followed by a
+    # scatter onto the precomputed ``(s, count) -> s′`` map — exactly the
+    # correlation that distinguishes this ablation from FET, preserved at
+    # the count level.
+
+    def count_states(self) -> int:
+        return 2 * (self.ell + 1)
+
+    def count_display(self) -> np.ndarray:
+        return prev_count_display(self.ell)
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        return prev_count_init_pmf(self.ell)
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        return prev_count_random_pmf(self.ell)
+
+    def _targets(self) -> np.ndarray:
+        if self._count_targets is None:
+            width = self.ell + 1
+            prev = np.tile(np.arange(width), 2)[:, None]
+            opinion = np.repeat(np.array([0, 1]), width)[:, None]
+            count = np.arange(width)[None, :]
+            new_opinion = np.where(count > prev, 1, np.where(count < prev, 0, opinion))
+            self._count_targets = new_opinion * width + count
+        return self._count_targets
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        pmf = _binomial_pmf_rows(self.ell, x_eff)
+        dist = rng.multinomial(counts, pmf[:, None, :])
+        return scatter_counts(dist, self._targets(), 2 * (self.ell + 1))
 
     def samples_per_round(self) -> int:
         return self.ell

@@ -33,6 +33,7 @@ class UndecidedStateProtocol(Protocol):
 
     passive = True
     batch_vectorized = True
+    counts_supported = True
     name = "undecided-state"
 
     def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
@@ -86,6 +87,51 @@ class UndecidedStateProtocol(Protocol):
         disagree = seen != opinions
         states["undecided"] = np.where(undecided, False, disagree)
         return np.where(undecided, seen, opinions).astype(np.uint8)
+
+    # ---------------------------------------------------------- count model
+    #
+    # State ``s = 2·opinion + undecided`` (S = 4). Each agent's transition
+    # depends only on its state and the one observed bit (Bernoulli(x̃)), so
+    # the full dense 4×4 kernel is cheap: one multinomial split per state.
+
+    def count_states(self) -> int:
+        return 4
+
+    def count_display(self) -> np.ndarray:
+        return np.array([0, 0, 1, 1], dtype=np.uint8)
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        pmf = np.zeros((2, 4))
+        pmf[0, 0] = 1.0
+        pmf[1, 2] = 1.0
+        return pmf
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        pmf = np.zeros((2, 4))
+        pmf[0, 0] = pmf[0, 1] = 0.5
+        pmf[1, 2] = pmf[1, 3] = 0.5
+        return pmf
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        replicas = counts.shape[0]
+        x = np.asarray(x_eff, dtype=float)
+        kernel = np.zeros((replicas, 4, 4))
+        # Decided 0 (s=0): sees 1 w.p. x̃ -> undecided (s=1), else stays.
+        kernel[:, 0, 0] = 1.0 - x
+        kernel[:, 0, 1] = x
+        # Undecided showing 0 (s=1): adopts what it sees and decides.
+        kernel[:, 1, 0] = 1.0 - x
+        kernel[:, 1, 2] = x
+        # Decided 1 (s=2): sees 0 w.p. 1-x̃ -> undecided (s=3), else stays.
+        kernel[:, 2, 2] = x
+        kernel[:, 2, 3] = 1.0 - x
+        # Undecided showing 1 (s=3): adopts what it sees and decides.
+        kernel[:, 3, 0] = 1.0 - x
+        kernel[:, 3, 2] = x
+        moved = rng.multinomial(counts, kernel)
+        return moved.sum(axis=1).astype(np.int64)
 
     def samples_per_round(self) -> int:
         return 1

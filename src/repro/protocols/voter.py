@@ -18,6 +18,7 @@ from ..core.batch import BatchedPopulation
 from ..core.population import PopulationState
 from ..core.protocol import Protocol, ProtocolState
 from ..core.sampling import BatchedSampler, Sampler
+from .counting import OPINION_DISPLAY, OPINION_STATE_PMF
 
 __all__ = ["VoterProtocol"]
 
@@ -27,6 +28,7 @@ class VoterProtocol(Protocol):
 
     passive = True
     batch_vectorized = True
+    counts_supported = True
     name = "voter"
 
     def init_state(self, n: int, rng: np.random.Generator) -> ProtocolState:
@@ -53,6 +55,31 @@ class VoterProtocol(Protocol):
     ) -> np.ndarray:
         seen = sampler.counts(batch, 1, rng)
         return (seen > 0).astype(np.uint8)
+
+    # ---------------------------------------------------------- count model
+    #
+    # Stateless: the opinion bit is the whole state. Every agent adopts 1
+    # independently with probability x̃, so the new one-count is a single
+    # binomial draw per replica.
+
+    def count_states(self) -> int:
+        return 2
+
+    def count_display(self) -> np.ndarray:
+        return OPINION_DISPLAY
+
+    def count_init_state_pmf(self) -> np.ndarray:
+        return OPINION_STATE_PMF
+
+    def count_random_state_pmf(self) -> np.ndarray:
+        return OPINION_STATE_PMF
+
+    def step_counts(
+        self, counts: np.ndarray, x_eff: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n_free = counts.sum(axis=1)
+        ones = rng.binomial(n_free, x_eff)
+        return np.stack([n_free - ones, ones], axis=1).astype(np.int64)
 
     def samples_per_round(self) -> int:
         return 1

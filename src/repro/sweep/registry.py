@@ -6,15 +6,21 @@ module turns those descriptions back into live objects inside whichever
 process runs the cell. Three component kinds are registered:
 
 * **protocols** — every protocol shipped by the library;
-* **initializers** — every initializer except
-  :class:`~repro.initializers.adversarial.FrozenUnanimity`, which requires
-  the majority-variant population that run specs (built on
-  ``make_population``) do not model;
+* **initializers** — every initializer, including the crafted adversarial
+  constructions (:class:`~repro.initializers.adversarial.FrozenUnanimity`
+  additionally needs the ``majority`` population component — the pairing
+  is cross-checked by :func:`validate_cell`);
 * **samplers** — observation models, registered as *paired* scalar and
   batched builders (:func:`build_samplers`), so declaring a sampler always
   yields the matching batched observation model alongside the scalar one
   (entries without a batched counterpart, like the literal index sampler,
-  pair with ``None`` and force the sequential engine).
+  pair with ``None`` and force the sequential engine);
+* **populations** — population layouts (:func:`build_population`):
+  ``standard`` is the default source-pinned layout every run spec builds
+  natively (declaring it changes nothing), ``majority`` the
+  Section-1.2 majority variant (``k0``/``k1`` sources with opposing
+  preferences, sources unpinned), previously reachable only by
+  hand-building populations in benchmark code.
 
 Sample-size parameters: protocols taking ℓ accept an explicit ``ell`` or
 derive the paper's ``ℓ = ⌈c·ln n⌉`` from the cell's population size, with
@@ -34,7 +40,13 @@ from ..core.sampling import (
     IndexSampler,
     Sampler,
 )
-from ..initializers.adversarial import PoisonedCounters, TwoRoundTarget, ZeroSpeedCenter
+from ..core.population import PopulationState, make_majority_population, make_population
+from ..initializers.adversarial import (
+    FrozenUnanimity,
+    PoisonedCounters,
+    TwoRoundTarget,
+    ZeroSpeedCenter,
+)
 from ..initializers.standard import (
     AllCorrect,
     AllWrong,
@@ -59,10 +71,13 @@ from ..protocols import (
 
 __all__ = [
     "build_initializer",
+    "build_population",
     "build_protocol",
     "build_samplers",
     "component_catalog",
     "initializer_names",
+    "population_factory",
+    "population_names",
     "protocol_factory",
     "protocol_names",
     "sampler_names",
@@ -118,7 +133,46 @@ _INITIALIZERS: dict[str, tuple[Callable[[dict], Initializer], set[str]]] = {
     ),
     "zero-speed-center": (lambda p: ZeroSpeedCenter(), set()),
     "poisoned-counters": (lambda p: PoisonedCounters(), set()),
+    "frozen-unanimity": (
+        lambda p: FrozenUnanimity(int(p.get("opinion", 1))),
+        {"opinion"},
+    ),
 }
+
+#: name -> (builder(params, n, num_sources, correct_opinion) -> PopulationState,
+#:          allowed parameter names). ``standard`` is what every run spec
+#:          builds natively when no population component is declared — it is
+#:          registered so specs can say so explicitly, and resolution treats
+#:          it as "no override" to keep the vectorized batch-init fast path.
+_POPULATIONS: dict[
+    str,
+    tuple[Callable[[dict, int, int, int], PopulationState], set[str]],
+] = {
+    "standard": (
+        lambda p, n, num_sources, correct: make_population(
+            n, correct, num_sources=num_sources
+        ),
+        set(),
+    ),
+    "majority": (
+        lambda p, n, num_sources, correct: _build_majority(p, n, correct),
+        {"k0", "k1"},
+    ),
+}
+
+
+def _build_majority(params: dict, n: int, correct_opinion: int) -> PopulationState:
+    if "k0" not in params or "k1" not in params:
+        raise ValueError("the 'majority' population needs 'k0' and 'k1' source counts")
+    k0, k1 = int(params["k0"]), int(params["k1"])
+    population = make_majority_population(n, k0, k1)
+    if population.correct_opinion != correct_opinion:
+        raise ValueError(
+            f"the majority of sources prefers {population.correct_opinion} "
+            f"(k0={k0}, k1={k1}), but the spec declares "
+            f"correct_opinion={correct_opinion}"
+        )
+    return population
 
 
 def _method_param(params: dict) -> str:
@@ -173,6 +227,10 @@ def sampler_names() -> list[str]:
     return sorted(_SAMPLERS)
 
 
+def population_names() -> list[str]:
+    return sorted(_POPULATIONS)
+
+
 def component_catalog() -> dict[str, dict[str, list[str]]]:
     """Kind → name → accepted parameter names, straight from the registries.
 
@@ -184,6 +242,7 @@ def component_catalog() -> dict[str, dict[str, list[str]]]:
         "protocol": {name: sorted(entry[1]) for name, entry in sorted(_PROTOCOLS.items())},
         "initializer": {name: sorted(entry[1]) for name, entry in sorted(_INITIALIZERS.items())},
         "sampler": {name: sorted(entry[2]) for name, entry in sorted(_SAMPLERS.items())},
+        "population": {name: sorted(entry[1]) for name, entry in sorted(_POPULATIONS.items())},
     }
 
 
@@ -217,6 +276,51 @@ def build_initializer(spec: dict) -> Initializer:
     return builder(_params(spec, "initializer", allowed))
 
 
+def build_population(
+    spec: dict, n: int, *, num_sources: int = 1, correct_opinion: int = 1
+) -> PopulationState:
+    """Instantiate the population layout described by ``spec``.
+
+    ``standard`` reproduces exactly what ``make_population`` builds from the
+    run spec's shape fields; ``majority`` builds the Section-1.2 variant
+    (its ``k0``/``k1`` parameters define the source structure, so the run
+    spec's ``num_sources`` is not consulted, and ``correct_opinion`` must
+    agree with the declared source majority).
+    """
+    name = spec.get("name")
+    if name not in _POPULATIONS:
+        raise ValueError(
+            f"unknown population {name!r}; known populations: {population_names()}"
+        )
+    builder, allowed = _POPULATIONS[name]
+    return builder(_params(spec, "population", allowed), n, num_sources, correct_opinion)
+
+
+def population_factory(
+    spec: dict, n: int, *, num_sources: int = 1, correct_opinion: int = 1
+) -> Callable[[], PopulationState] | None:
+    """Zero-argument factory building a fresh population per call.
+
+    Returns ``None`` for the ``standard`` layout — it is precisely what the
+    engines build natively from the shape fields, and resolving it to "no
+    override" keeps the vectorized batch-initialization and counts fast
+    paths available. Parameter errors surface immediately (the first
+    instantiation happens in the creator), before any worker is spawned.
+    """
+    name = spec.get("name")
+    if name not in _POPULATIONS:
+        raise ValueError(
+            f"unknown population {name!r}; known populations: {population_names()}"
+        )
+    _params(spec, "population", _POPULATIONS[name][1])
+    if name == "standard":
+        return None
+    build_population(spec, n, num_sources=num_sources, correct_opinion=correct_opinion)
+    return lambda: build_population(
+        spec, n, num_sources=num_sources, correct_opinion=correct_opinion
+    )
+
+
 def build_samplers(
     spec: dict,
 ) -> tuple[Callable[[], Sampler], BatchedSampler | None]:
@@ -248,8 +352,53 @@ def validate_cell(cell) -> None:
     from inside a pool worker after part of the grid has already run.
     """
     try:
-        build_protocol(cell.protocol, cell.n)
-        build_initializer(cell.initializer)
+        protocol = build_protocol(cell.protocol, cell.n)
+        initializer = build_initializer(cell.initializer)
+        population = getattr(cell, "population", None)
+        if population is not None:
+            build_population(
+                population,
+                cell.n,
+                num_sources=cell.num_sources,
+                correct_opinion=cell.correct_opinion,
+            )
+        if cell.initializer.get("name") == "frozen-unanimity" and (
+            population is None or population.get("name") != "majority"
+        ):
+            raise ValueError(
+                "the frozen-unanimity initializer models the majority variant; "
+                "declare population={'name': 'majority', 'k0': ..., 'k1': ...}"
+            )
+        if cell.engine == "counts":
+            # The counts engine models exchangeable source-pinned populations
+            # through their state-count sufficient statistic; every component
+            # that needs per-agent structure is rejected here, before any
+            # worker is spawned.
+            if not protocol.counts_supported:
+                raise ValueError(
+                    f"protocol {cell.protocol['name']!r} has no count model "
+                    "(counts_supported=False); the counts engine cannot run "
+                    "it — use engine='auto', 'batched' or 'sequential'"
+                )
+            if not initializer.supports_counts:
+                raise ValueError(
+                    f"initializer {cell.initializer['name']!r} builds "
+                    "per-agent configurations (supports_counts=False); the "
+                    "counts engine needs an exchangeable count-level "
+                    "initializer"
+                )
+            if population is not None and population.get("name") != "standard":
+                raise ValueError(
+                    f"population {population.get('name')!r} is a crafted "
+                    "per-agent layout; the counts engine only models the "
+                    "standard source-pinned population"
+                )
+            if cell.measure.get("kind") == "trace" and cell.measure.get("flips"):
+                raise ValueError(
+                    "per-agent flip counts are not a function of the "
+                    "state-count sufficient statistic; the counts engine "
+                    "cannot record them — use engine='batched'"
+                )
         if cell.sampler is not None:
             _, batched = build_samplers(cell.sampler)
             if batched is None:
@@ -261,11 +410,24 @@ def validate_cell(cell) -> None:
                         f"sampler {cell.sampler['name']!r} has no batched "
                         "observation model; use engine='auto' or 'sequential'"
                     )
+                if cell.engine == "counts":
+                    raise ValueError(
+                        f"sampler {cell.sampler['name']!r} has no "
+                        "fraction-keyed batched observation model; the "
+                        "counts engine cannot run it"
+                    )
                 if cell.measure.get("kind") == "trace":
                     raise ValueError(
                         "the trace measure runs on the batched engine, but "
                         f"sampler {cell.sampler['name']!r} has no batched "
                         "observation model"
                     )
+            elif cell.engine == "counts" and not hasattr(batched, "effective_fractions"):
+                raise ValueError(
+                    f"sampler {cell.sampler['name']!r} is not keyed on "
+                    "one-fractions; the counts engine draws its own "
+                    "multinomial transitions and only supports the "
+                    "BatchedBinomialSampler family"
+                )
     except (ValueError, KeyError, TypeError) as error:
         raise ValueError(f"invalid sweep cell [{cell.label()}]: {error}") from error

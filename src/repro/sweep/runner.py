@@ -443,14 +443,22 @@ def _measure_theta(cell: Cell, factory, initializer) -> dict:
     theta = float(cell.measure["theta"])
     settle_window = int(cell.measure.get("settle_window", 20))
     protocol = factory()
-    if not _use_batched(cell, protocol):
+    counts = cell.engine == "counts"
+    if not counts and not _use_batched(cell, protocol):
         return _measure_theta_sequential(cell, factory, initializer, theta, settle_window)
-    base = _base_payload("theta", protocol.name, initializer, "batched")
+    base = _base_payload("theta", protocol.name, initializer, "counts" if counts else "batched")
     base.update({"reached": 0, "settle_levels": [], "theta": theta, "settle_window": settle_window})
     if cell.trials == 0:
         return base
     recorder = FullTrace()
-    engine = cell.batched_engine(protocol=protocol, initializer=initializer)
+    # The counts engine implements the same run contract (stop condition on
+    # the population, recorder, linger retirement), so the whole measurement
+    # below is engine-agnostic once the right engine is built.
+    engine = (
+        cell.count_engine(protocol=protocol, initializer=initializer)
+        if counts
+        else cell.batched_engine(protocol=protocol, initializer=initializer)
+    )
     result = engine.run(
         cell.max_rounds,
         stability_rounds=cell.stability_rounds,
@@ -568,13 +576,24 @@ def _measure_trace(cell: Cell, factory, initializer) -> dict:
     ring = cell.measure.get("ring")
     flips = bool(cell.measure.get("flips", False))
     tolerance = float(cell.measure.get("tolerance", 0.0))
+    counts = cell.engine == "counts"
+    if counts and flips:
+        raise ValueError(
+            "per-agent flip counts are not a function of the state-count "
+            "sufficient statistic; the counts engine cannot record them — "
+            "use engine='batched'"
+        )
     protocol = factory()
-    base = _base_payload("trace", protocol.name, initializer, "batched")
+    base = _base_payload("trace", protocol.name, initializer, "counts" if counts else "batched")
     base.update({"successes": 0, "settle_rounds": [], "recorded_columns": 0})
     if cell.trials == 0:
         return base
     recorder = make_recorder(ring=ring, stride=stride, record_flips=flips)
-    engine = cell.batched_engine(protocol=protocol, initializer=initializer)
+    engine = (
+        cell.count_engine(protocol=protocol, initializer=initializer)
+        if counts
+        else cell.batched_engine(protocol=protocol, initializer=initializer)
+    )
     result = engine.run(
         cell.max_rounds,
         stability_rounds=cell.stability_rounds,

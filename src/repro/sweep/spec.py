@@ -15,9 +15,9 @@ predate the extended families, load unchanged through :func:`load_spec`):
 * the **core four** — ``protocol``, ``n``, ``noise``, ``initializer`` —
   crossed in that canonical order exactly as in version 1;
 * **extended field axes** (:data:`EXTENDED_AXES`) — any remaining
-  :class:`~repro.config.RunSpec` field: ``sampler``, ``num_sources``,
-  ``correct_opinion``, ``stability_rounds``, ``linger_rounds``,
-  ``trials``, ``max_rounds``, ``engine`` — crossed after the core four in
+  :class:`~repro.config.RunSpec` field: ``sampler``, ``population``,
+  ``num_sources``, ``correct_opinion``, ``stability_rounds``,
+  ``linger_rounds``, ``trials``, ``max_rounds``, ``engine`` — crossed after the core four in
   sorted-name order, so grids that only use the core four keep their exact
   version-1 cell order, seeds, and keys;
 * **dotted parameter axes** — ``"protocol.ell"``, ``"protocol.band"``,
@@ -75,6 +75,7 @@ EXTENDED_AXES = (
     "linger_rounds",
     "max_rounds",
     "num_sources",
+    "population",
     "sampler",
     "stability_rounds",
     "trials",
@@ -174,8 +175,11 @@ class SweepSpec:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
         if self.stability_rounds < 1:
             raise ValueError(f"stability_rounds must be >= 1, got {self.stability_rounds}")
-        if self.engine not in ("auto", "batched", "sequential"):
-            raise ValueError(f"engine must be 'auto', 'batched' or 'sequential', got {self.engine!r}")
+        if self.engine not in ("auto", "batched", "sequential", "counts"):
+            raise ValueError(
+                f"engine must be 'auto', 'batched', 'sequential' or 'counts', "
+                f"got {self.engine!r}"
+            )
 
         axes = dict(self.axes)
         dotted = [axis for axis in axes if "." in axis]
@@ -221,11 +225,16 @@ class SweepSpec:
                 raise ValueError(f"noise levels must be in [0, 1/2], got {eps}")
         if "sampler" in axes:
             axes["sampler"] = [_normalize_component(v, "sampler") for v in axes["sampler"]]
+        if "population" in axes:
+            axes["population"] = [
+                _normalize_component(v, "population") for v in axes["population"]
+            ]
         if "engine" in axes:
             for value in axes["engine"]:
-                if value not in ("auto", "batched", "sequential"):
+                if value not in ("auto", "batched", "sequential", "counts"):
                     raise ValueError(
-                        f"engine axis values must be 'auto', 'batched' or 'sequential', got {value!r}"
+                        f"engine axis values must be 'auto', 'batched', "
+                        f"'sequential' or 'counts', got {value!r}"
                     )
         if "correct_opinion" in axes:
             for value in axes["correct_opinion"]:
@@ -346,6 +355,7 @@ class SweepSpec:
                 num_sources=coords.get("num_sources", 1),
                 correct_opinion=coords.get("correct_opinion", 1),
                 linger_rounds=coords.get("linger_rounds", 0),
+                population=coords.get("population"),
             )
             seed = derive_cell_seed(self.seed, draft.spec_dict())
             cells.append(replace(draft, seed=seed))
