@@ -144,67 +144,85 @@ def test_worst_case_search(benchmark):
 def test_hysteresis_ablation(benchmark):
     """E-hyst — the dead-band ablation: hysteresis does not fix the noise
     knife-edge and taxes noiseless convergence (see
-    repro/protocols/hysteresis.py for the full argument)."""
-    from repro.core.engine import SynchronousEngine
-    from repro.core.noise import NoisyCountSampler
-    from repro.core.population import make_population
-    from repro.core.rng import make_rng
-    from repro.initializers.standard import AllWrong
-    from repro.protocols.hysteresis import HysteresisFETProtocol
+    repro/protocols/hysteresis.py for the full argument).
+
+    Declared as a pure :class:`SweepSpec` grid over registry components
+    (``hysteresis-fet`` with a dotted band axis, the paired noisy samplers
+    resolved by the noise axis, the θ measure's settle window standing in
+    for the old hand-rolled retention loop) — so the whole ablation is one
+    JSON document away from being submitted to the run service like any
+    other condition, and its cells cache/resume under ``REPRO_BENCH_STORE``.
+    """
+    import numpy as np
+
+    from bench_common import sweep_knobs
+    from repro.sweep import SweepSpec, run_sweep
 
     n = 1500
-    ell = ell_for(n)
     bands = [0, 2, 4, 8]
-    epsilons = [0.0, 0.01]
+    spec = SweepSpec(
+        name="hysteresis-ablation",
+        seed=17,
+        trials=3,
+        max_rounds=500,
+        axes={
+            "protocol": [{"name": "hysteresis-fet", "ell": ell_for(n)}],
+            "protocol.band": bands,
+            "n": [n],
+            "noise": [0.0, 0.01],
+        },
+        # Reach = hitting 95% correct; retain = the mean level over the 100
+        # rounds after the threshold holds (the old last-100-rounds mean).
+        measure={"kind": "theta", "theta": 0.95, "settle_window": 100},
+    )
+    jobs, store = sweep_knobs()
 
     def build():
-        out = []
-        for band in bands:
-            for eps in epsilons:
-                proto = HysteresisFETProtocol(ell, band)
-                pop = make_population(n, 1)
-                rng = make_rng(17)
-                state = proto.init_state(n, rng)
-                AllWrong()(pop, proto, state, rng)
-                engine = SynchronousEngine(
-                    proto, pop, sampler=NoisyCountSampler(eps), rng=rng, state=state
-                )
-                fractions = []
-                t95 = None
-                for t in range(500):
-                    engine.step()
-                    level = pop.nonsource_correct_fraction()
-                    fractions.append(level)
-                    if t95 is None and level >= 0.95:
-                        t95 = t + 1
-                retain = float(sum(fractions[-100:]) / 100)
-                out.append((band, eps, t95, retain))
-        return out
+        return run_sweep(spec, jobs=jobs, store=store)
 
-    rows = run_once(benchmark, build)
-    print(banner("E-hyst — dead-band FET: reach (t95) and retain (last-100 mean)"))
+    result = run_once(benchmark, build)
+    rows = []
+    for cell, res in zip(result.cells, result.results):
+        payload = res.payload
+        times = payload["times"]
+        levels = payload["settle_levels"]
+        rows.append(
+            (
+                cell.protocol["band"],
+                cell.noise,
+                payload["reached"],
+                cell.trials,
+                float(np.median(times)) if times else None,
+                float(np.mean(levels)) if levels else float("nan"),
+            )
+        )
+    print(banner("E-hyst — dead-band FET: reach (t95) and retain (settle mean)"))
     print(format_table(
-        ["band", "epsilon", "t95 (rounds)", "retention"],
-        [[b, e, "-" if t is None else t, round(r, 3)] for b, e, t, r in rows],
+        ["band", "epsilon", "reached 95%", "t95 (median)", "retention"],
+        [
+            [b, e, f"{reached}/{trials}", "-" if t is None else t, round(r, 3) if r == r else "-"]
+            for b, e, reached, trials, t, r in rows
+        ],
     ))
     print("\nReading: no band retains consensus under noise (retention ~0.5),")
     print("and noiseless convergence slows (band 2) or stalls (band >= 4):")
     print("FET's bare tie rule is a forced design, not an oversight.")
     write_rows(
         results_path("hysteresis_ablation.csv"),
-        ("band", "epsilon", "t95", "retention"),
+        ("band", "epsilon", "reached", "trials", "t95", "retention"),
         rows,
     )
 
-    by_key = {(b, e): (t, r) for b, e, t, r in rows}
+    by_key = {(b, e): (reached, trials, t, r) for b, e, reached, trials, t, r in rows}
     # Noiseless: band 0 converges fast and retains; large band stalls.
-    assert by_key[(0, 0.0)][0] is not None and by_key[(0, 0.0)][1] > 0.999
-    assert by_key[(8, 0.0)][0] is None
+    reached, trials, _, retain = by_key[(0, 0.0)]
+    assert reached == trials and retain > 0.999
+    assert by_key[(8, 0.0)][0] == 0
     # Under noise: reach works for small bands, retention fails for all.
-    assert by_key[(0, 0.01)][0] is not None
+    assert by_key[(0, 0.01)][0] == by_key[(0, 0.01)][1]
     for band in bands:
-        t95, retain = by_key[(band, 0.01)]
-        if t95 is not None:
+        reached, _, _, retain = by_key[(band, 0.01)]
+        if reached:
             assert retain < 0.9, f"band={band} unexpectedly retained consensus"
 
 

@@ -83,7 +83,7 @@ from .protocols import (
 from .sweep import ResultsStore, SweepResult, SweepSpec, run_sweep
 from .trace import BatchTrace, FullTrace, RingBufferTrace, TraceRecorder
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BatchTrace",

@@ -19,6 +19,11 @@ Small, dependency-free front door for the library's main entry points:
 * ``serve-metrics`` — stdlib HTTP observability endpoint serving
   ``/metrics`` (Prometheus exposition), ``/healthz`` and ``/progress``;
   ``sweep --metrics-port`` exposes the same surface on a *live* run.
+* ``serve`` — the run service: an HTTP job queue accepting RunSpec/
+  SweepSpec JSON with spec-hash dedup against the results store, a
+  background worker pool, and live SSE progress streaming.
+* ``submit`` — client for ``serve``: submit a spec file, optionally
+  follow it live (``--follow``) and save the result CSV (``--out``).
 
 Each command accepts ``--seed`` and prints plain text; exit code 0 on
 success. The heavy, assertion-carrying versions of these experiments live in
@@ -343,6 +348,101 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="serve for this long and exit 0 (default: serve until interrupted)",
+    )
+
+    service_cmd = sub.add_parser(
+        "serve",
+        help="run the HTTP run service: job queue, spec-hash dedup, workers, SSE streaming",
+    )
+    service_cmd.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    service_cmd.add_argument(
+        "--port", type=int, default=9470, help="port to bind (default 9470; 0 picks a free port)"
+    )
+    service_cmd.add_argument(
+        "--store",
+        type=str,
+        required=True,
+        metavar="FILE",
+        help="results store JSONL path (the dedup source of truth; created if missing)",
+    )
+    service_cmd.add_argument(
+        "--queue",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="job-queue journal path (default: <store>.queue.jsonl)",
+    )
+    service_cmd.add_argument(
+        "--workers", type=int, default=1, help="concurrent job worker threads (default 1)"
+    )
+    service_cmd.add_argument(
+        "--jobs",
+        type=_jobs,
+        default=1,
+        help="worker processes per executing sweep (default 1; 0 = all cores)",
+    )
+    service_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per cell before it becomes a failure record (default 2)",
+    )
+    service_cmd.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget (default: none)",
+    )
+    service_cmd.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long and exit 0 (default: serve until interrupted)",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit a RunSpec/SweepSpec JSON to a running 'repro serve'"
+    )
+    submit_cmd.add_argument(
+        "--url",
+        type=str,
+        default="http://127.0.0.1:9470",
+        help="service base URL (default http://127.0.0.1:9470)",
+    )
+    spec_source = submit_cmd.add_mutually_exclusive_group(required=True)
+    spec_source.add_argument(
+        "--spec", type=str, metavar="FILE", help="SweepSpec JSON file to submit"
+    )
+    spec_source.add_argument(
+        "--run", type=str, metavar="FILE", help="single RunSpec JSON file to submit"
+    )
+    submit_cmd.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream live progress over SSE until the job terminates",
+    )
+    submit_cmd.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job terminates (quiet alternative to --follow)",
+    )
+    submit_cmd.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the result CSV here once the job is done (implies --wait)",
+    )
+    submit_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="wait/follow budget in seconds (default 600)",
     )
 
     compare = sub.add_parser("compare", help="FET vs baselines from the all-wrong start")
@@ -671,13 +771,123 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import JobQueue, RunServiceServer, WorkerPool
+
+    registry = MetricsRegistry()
+    store = ResultsStore(args.store)
+    queue_path = args.queue if args.queue else f"{args.store}.queue.jsonl"
+    queue = JobQueue(queue_path, store=store, registry=registry)
+    policy = FaultPolicy(
+        max_retries=args.max_retries,
+        timeout=args.cell_timeout,
+        on_failure="record",
+    )
+    pool = WorkerPool(
+        queue,
+        store,
+        workers=max(args.workers, 1),
+        policy=policy,
+        sweep_jobs=args.jobs,
+        registry=registry,
+    )
+    server = RunServiceServer(
+        queue=queue, pool=pool, host=args.host, port=args.port, registry=registry
+    )
+    try:
+        port = server.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    pool.start()
+    print(
+        f"run service on http://{args.host}:{port}/runs "
+        f"({len(store)} stored cells, {len(queue)} known jobs; "
+        "also /metrics, /healthz, /progress; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        if args.for_seconds is not None:
+            time.sleep(max(args.for_seconds, 0.0))
+        else:
+            while True:  # pragma: no cover - interactive foreground mode
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        pool.stop()
+        server.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import RunServiceClient, ServiceError
+
+    path = args.spec if args.spec else args.run
+    try:
+        spec = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load spec {path!r}: {exc}", file=sys.stderr)
+        return 2
+    client = RunServiceClient(args.url)
+    try:
+        status = client.submit({"sweep": spec} if args.spec else {"run": spec})
+    except ServiceError as exc:
+        print(f"error: submission rejected: {exc}", file=sys.stderr)
+        return 2
+    job_id = status["job_id"]
+    print(f"job {job_id} {status['state']}" + (" (deduplicated)" if status["deduplicated"] else ""))
+    try:
+        if args.follow and not status["deduplicated"]:
+            for event, payload in client.stream(job_id, timeout=args.timeout):
+                if event == "progress":
+                    print(
+                        f"  {payload.get('done', '?')}/{payload.get('total', '?')} cells "
+                        f"({payload.get('rate_cells_per_s', 0)} cells/s)",
+                        flush=True,
+                    )
+                elif event == "state":
+                    print(f"  state: {payload['state']}", flush=True)
+            status = client.job(job_id)
+        elif args.wait or args.out or args.follow:
+            status = client.wait(job_id, timeout=args.timeout)
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if status["state"] == "failed":
+        error = status.get("error") or {}
+        print(
+            f"job failed: {error.get('type')}: {error.get('message')}", file=sys.stderr
+        )
+        return 1
+    if status["state"] == "done" and args.out:
+        try:
+            csv_bytes = client.result_csv(job_id)
+        except ServiceError as exc:
+            print(f"error: cannot fetch result: {exc}", file=sys.stderr)
+            return 1
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(csv_bytes)
+        print(f"result CSV -> {out}")
+    elif status["state"] == "done":
+        result = status.get("result") or {}
+        print(
+            f"done: {result.get('cells')} cells "
+            f"({result.get('executed')} executed, {result.get('cached')} cached)"
+        )
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "map": _cmd_map,
     "scale": _cmd_scale,
     "compare": _cmd_compare,
     "metrics": _cmd_metrics,
+    "serve": _cmd_serve,
     "serve-metrics": _cmd_serve_metrics,
+    "submit": _cmd_submit,
     "sweep": _cmd_sweep,
     "timeline": _cmd_timeline,
     "trace": _cmd_trace,

@@ -1,0 +1,45 @@
+"""Run service: a long-lived HTTP front door over the sweep orchestrator.
+
+The batch CLI recomputes a condition for whoever invokes it; the service
+turns the same substrate into compute-once-serve-forever infrastructure:
+
+* :mod:`repro.service.jobs` — submissions become :class:`Job` records with
+  content-hash-derived ids (identical specs *are* the same job) and a
+  ``queued → running → done | failed | cancelled`` state machine;
+* :mod:`repro.service.queue` — a persistent JSONL-journaled
+  :class:`JobQueue` that dedups at submission time: a spec whose hash
+  already completed, or whose cells are all in the
+  :class:`~repro.sweep.store.ResultsStore`, resolves immediately to the
+  cached result without touching a worker;
+* :mod:`repro.service.worker` — a background :class:`WorkerPool` executing
+  claimed jobs through the existing :func:`~repro.sweep.orchestrator.run_sweep`
+  under a :class:`~repro.sweep.dispatch.FaultPolicy`, publishing per-job
+  telemetry and live progress;
+* :mod:`repro.service.server` — :class:`RunServiceServer`, the HTTP API
+  (``POST /runs``, status/result routes, ``GET /runs/{id}/stream`` SSE)
+  extending the :class:`~repro.telemetry.ObservabilityServer` routes;
+* :mod:`repro.service.client` — a thin ``urllib`` client backing the
+  ``repro submit`` CLI and the end-to-end tests.
+
+Everything is stdlib-only (``http.server``/``urllib``), keeping the
+package's no-new-dependencies contract.
+"""
+
+from .client import RunServiceClient, ServiceError
+from .jobs import Job, JobError, job_cells, normalize_submission, spec_hash
+from .queue import JobQueue
+from .server import RunServiceServer
+from .worker import WorkerPool
+
+__all__ = [
+    "Job",
+    "JobError",
+    "JobQueue",
+    "RunServiceClient",
+    "RunServiceServer",
+    "ServiceError",
+    "WorkerPool",
+    "job_cells",
+    "normalize_submission",
+    "spec_hash",
+]

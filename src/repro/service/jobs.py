@@ -1,0 +1,185 @@
+"""Job records: content-addressed submissions with a small state machine.
+
+A job wraps one submitted condition — a single :class:`~repro.config.RunSpec`
+or a :class:`~repro.sweep.spec.SweepSpec` grid — in transport/journal form.
+Its identity is the SHA-256 of the *canonicalized* spec
+(:func:`spec_hash`), so two requests that mean the same computation are the
+same job no matter how their JSON was spelled: field order, elided
+defaults, and string-vs-structured component forms all normalize away
+through the spec classes' own ``from_dict``/``to_dict`` round-trip before
+hashing. Content addressing is what makes dedup trivial for the queue —
+and what makes the id stable across service restarts, client retries, and
+machines.
+
+States move ``queued → running → done | failed``, with ``cancelled``
+reachable only from ``queued`` (a running sweep is not preemptible — its
+cells checkpoint to the store either way, so the useful cancel is "don't
+start"). Transitions are validated; the queue journals each one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from ..config import RunSpec, canonical_json
+from ..sweep.spec import Cell, SweepSpec
+
+__all__ = [
+    "Job",
+    "JobError",
+    "STATES",
+    "TERMINAL_STATES",
+    "job_cells",
+    "normalize_submission",
+    "spec_hash",
+]
+
+STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: state -> states it may legally move to
+_TRANSITIONS = {
+    "queued": ("running", "cancelled"),
+    "running": ("done", "failed", "queued"),  # -> queued: crash-recovery requeue
+    "done": (),
+    "failed": ("queued",),  # resubmission retries a failed job
+    "cancelled": ("queued",),  # resubmission revives a cancelled job
+}
+
+
+class JobError(ValueError):
+    """An invalid submission or an illegal job operation."""
+
+
+def normalize_submission(body: dict) -> tuple[str, dict]:
+    """Validate a submission body into ``(kind, canonical_spec_dict)``.
+
+    Accepts ``{"run": {...}}``, ``{"sweep": {...}}``, or a bare spec dict
+    (autodetected: a ``axes`` key means sweep, else run). The spec is
+    round-tripped through its dataclass so every equivalent spelling —
+    reordered keys, elided defaults, shorthand component strings — lands on
+    one canonical dict, which is what :func:`spec_hash` hashes. Raises
+    :class:`JobError` with a client-presentable message on anything invalid.
+    """
+    if not isinstance(body, dict):
+        raise JobError(f"submission must be a JSON object, got {type(body).__name__}")
+    if "run" in body and "sweep" in body:
+        raise JobError("submission carries both 'run' and 'sweep'; send one")
+    if "run" in body:
+        kind, spec = "run", body["run"]
+    elif "sweep" in body:
+        kind, spec = "sweep", body["sweep"]
+    else:
+        kind, spec = ("sweep" if "axes" in body else "run"), body
+    if not isinstance(spec, dict):
+        raise JobError(f"{kind} spec must be a JSON object, got {type(spec).__name__}")
+    try:
+        if kind == "sweep":
+            canonical = SweepSpec.from_dict(spec).to_dict()
+        else:
+            canonical = RunSpec.from_dict(spec).to_dict()
+    except (JobError, TypeError, ValueError, KeyError) as exc:
+        raise JobError(f"invalid {kind} spec: {exc}") from exc
+    return kind, canonical
+
+
+def spec_hash(kind: str, spec: dict) -> str:
+    """Content hash of a normalized submission — the job id.
+
+    Hashes the canonical JSON of ``{"kind": ..., "spec": ...}`` so a run
+    and a sweep that would expand to the same single cell still get
+    distinct ids (they have different result shapes and routes).
+    """
+    return hashlib.sha256(
+        canonical_json({"kind": kind, "spec": spec}).encode()
+    ).hexdigest()
+
+
+def job_cells(kind: str, spec: dict) -> list[Cell]:
+    """The cells a job computes, in canonical order (one for a run job)."""
+    if kind == "sweep":
+        return SweepSpec.from_dict(spec).expand()
+    return [RunSpec.from_dict(spec)]
+
+
+@dataclass
+class Job:
+    """One submission in journal/transport form."""
+
+    job_id: str
+    kind: str  # "run" | "sweep"
+    spec: dict
+    state: str = "queued"
+    created_ts: float = field(default_factory=time.time)
+    started_ts: float | None = None
+    finished_ts: float | None = None
+    #: Completion summary (cell counts, source) once ``done``.
+    result: dict | None = None
+    #: Structured failure description once ``failed`` (error type/message,
+    #: plus per-cell failure records when cells exhausted their retries).
+    error: dict | None = None
+    #: Whether submission resolved straight from the store, never queueing.
+    deduplicated: bool = False
+
+    @classmethod
+    def from_submission(cls, kind: str, spec: dict) -> "Job":
+        return cls(job_id=spec_hash(kind, spec), kind=kind, spec=spec)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, state: str, *, ts: float | None = None) -> None:
+        """Move to ``state``, enforcing the legal transition graph."""
+        if state not in STATES:
+            raise JobError(f"unknown job state {state!r}")
+        if state not in _TRANSITIONS[self.state]:
+            raise JobError(f"job {self.job_id[:12]} cannot move {self.state} -> {state}")
+        now = time.time() if ts is None else ts
+        self.state = state
+        if state == "running":
+            self.started_ts = now
+        elif state == "queued":
+            # Requeue (retry or crash recovery): the record starts over.
+            self.started_ts = None
+            self.finished_ts = None
+            self.result = None
+            self.error = None
+        elif state in TERMINAL_STATES:
+            self.finished_ts = now
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "state": self.state,
+            "created_ts": self.created_ts,
+            "deduplicated": self.deduplicated,
+        }
+        if self.started_ts is not None:
+            data["started_ts"] = self.started_ts
+        if self.finished_ts is not None:
+            data["finished_ts"] = self.finished_ts
+        if self.result is not None:
+            data["result"] = self.result
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        return cls(
+            job_id=data["job_id"],
+            kind=data["kind"],
+            spec=data["spec"],
+            state=data.get("state", "queued"),
+            created_ts=data.get("created_ts", 0.0),
+            started_ts=data.get("started_ts"),
+            finished_ts=data.get("finished_ts"),
+            result=data.get("result"),
+            error=data.get("error"),
+            deduplicated=bool(data.get("deduplicated", False)),
+        )

@@ -147,6 +147,7 @@ def run_sweep(
     tracer: SpanTracer | None = None,
     events: EventLog | None = None,
     serve: "ObservabilityServer | None" = None,
+    job_id: str | None = None,
 ) -> SweepResult:
     """Run every cell of ``spec``, in parallel and against the store.
 
@@ -217,6 +218,10 @@ def run_sweep(
         cell executes, so ``/metrics`` and ``/progress`` can be scraped
         mid-sweep. The caller owns the server's lifetime; the orchestrator
         never stops it. Forces a registry on like ``progress`` does.
+    job_id:
+        Run-service job identifier. When set, the progress tracker stamps
+        it into :meth:`~repro.telemetry.ProgressLine.stats`, so a shared
+        ``/progress`` surface can attribute each line to its submission.
     """
     registry = metrics if metrics is not None else current_registry()
     if (progress or serve is not None) and registry is None:
@@ -246,6 +251,7 @@ def run_sweep(
             tracer=tracer,
             events=events,
             serve=serve,
+            job_id=job_id,
         )
 
 
@@ -264,6 +270,7 @@ def _run_sweep(
     tracer: SpanTracer | None,
     events: EventLog | None,
     serve: "ObservabilityServer | None",
+    job_id: str | None,
 ) -> SweepResult:
     """The body of :func:`run_sweep`, with the observability state ambient."""
     sweep_span = tracer.span("sweep", spec=spec.name) if tracer is not None else None
@@ -284,6 +291,7 @@ def _run_sweep(
             tracer=tracer,
             events=events,
             serve=serve,
+            job_id=job_id,
         )
     finally:
         if sweep_span is not None:
@@ -322,6 +330,7 @@ def _run_sweep_traced(
     tracer: SpanTracer | None,
     events: EventLog | None,
     serve: "ObservabilityServer | None",
+    job_id: str | None,
 ) -> SweepResult:
     cells = spec.expand()
     for cell in cells:
@@ -354,7 +363,7 @@ def _run_sweep_traced(
             "repro_sweep_cells_total", "Cells in the sweep grid being run."
         ).set(float(len(cells)))
     tracker = (
-        ProgressLine(len(cells), registry)
+        ProgressLine(len(cells), registry, job_id=job_id)
         if registry is not None and (progress or serve is not None)
         else None
     )

@@ -41,9 +41,11 @@ class ProgressLine:
         registry: MetricsRegistry,
         stream: TextIO | None = None,
         min_interval: float = 0.25,
+        job_id: str | None = None,
     ) -> None:
         self._total = total
         self._registry = registry
+        self._job_id = job_id
         self._stream = sys.stderr if stream is None else stream
         try:
             self._tty = bool(self._stream.isatty())
@@ -87,18 +89,26 @@ class ProgressLine:
             eta_s = remaining / rate
         else:
             eta_s = None
-        return {
-            "total": self._total,
-            "done": done,
-            "completed": completed,
-            "failed": failed,
-            "cached": cached,
-            "retries": retries,
-            "executed": executed,
-            "elapsed_s": round(elapsed, 3),
-            "rate_cells_per_s": round(rate, 3),
-            "eta_s": None if eta_s is None else round(eta_s, 3),
-        }
+        stats: dict[str, Any] = {}
+        if self._job_id is not None:
+            # Under the run service several sweeps share one /progress
+            # surface; the job id keys each line to its submission.
+            stats["job_id"] = self._job_id
+        stats.update(
+            {
+                "total": self._total,
+                "done": done,
+                "completed": completed,
+                "failed": failed,
+                "cached": cached,
+                "retries": retries,
+                "executed": executed,
+                "elapsed_s": round(elapsed, 3),
+                "rate_cells_per_s": round(rate, 3),
+                "eta_s": None if eta_s is None else round(eta_s, 3),
+            }
+        )
+        return stats
 
     def render(self, now: float | None = None) -> str:
         """The current progress text (no trailing newline)."""

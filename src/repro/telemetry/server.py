@@ -34,7 +34,12 @@ from .exposition import render_prometheus
 from .registry import MetricsRegistry
 from .snapshot import MetricsSnapshot
 
-__all__ = ["ObservabilityServer"]
+__all__ = ["ObservabilityServer", "RouteError", "STREAMED"]
+
+#: Sentinel a route handler returns after writing its own response bytes
+#: directly to the connection (e.g. a chunked SSE stream) — tells the
+#: request handler that nothing more should be sent.
+STREAMED = object()
 
 #: Snapshot attempts before falling back to the last good snapshot.
 _SNAPSHOT_RETRIES = 8
@@ -128,6 +133,41 @@ class ObservabilityServer:
     def __exit__(self, *exc: object) -> None:
         self.stop()
 
+    # -- routing (called from handler threads) ----------------------------
+
+    def handle_route(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        handler: BaseHTTPRequestHandler,
+    ) -> tuple[int, str, str] | object | None:
+        """Resolve one request to ``(status, content_type, body)``.
+
+        The overridable seam subclasses (the run service) extend with their
+        own routes, falling back to ``super()`` for these. Return ``None``
+        for "no such route" (the handler sends 404), or :data:`STREAMED`
+        after writing a response directly to ``handler`` (long-lived
+        streams that outlive this call's framing, e.g. SSE).
+        """
+        if method != "GET":
+            return None
+        if path == "/metrics":
+            return 200, "text/plain; version=0.0.4; charset=utf-8", self.metrics_text()
+        if path in ("/healthz", "/health"):
+            return 200, "text/plain; charset=utf-8", "ok\n"
+        if path == "/progress":
+            body_text = json.dumps(self.progress_json(), sort_keys=True) + "\n"
+            return 200, "application/json", body_text
+        if path in ("/", "/index.html"):
+            return 200, "text/plain; charset=utf-8", self.index_text()
+        return None
+
+    def index_text(self) -> str:
+        """The ``/`` route-listing body; subclasses append their routes."""
+        return _INDEX_BODY
+
     # -- route bodies (called from handler threads) -----------------------
 
     def metrics_text(self) -> str:
@@ -164,36 +204,56 @@ def _make_handler(server: ObservabilityServer) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         server_version = "repro-observability/1"
 
-        def do_GET(self) -> None:  # noqa: N802 - http.server API
-            path = self.path.split("?", 1)[0]
-            if path == "/metrics":
-                body = server.metrics_text()
-                content_type = "text/plain; version=0.0.4; charset=utf-8"
-                status = 200
-            elif path in ("/healthz", "/health"):
-                body = "ok\n"
-                content_type = "text/plain; charset=utf-8"
-                status = 200
-            elif path == "/progress":
-                body = json.dumps(server.progress_json(), sort_keys=True) + "\n"
-                content_type = "application/json"
-                status = 200
-            elif path in ("/", "/index.html"):
-                body = _INDEX_BODY
-                content_type = "text/plain; charset=utf-8"
-                status = 200
-            else:
-                body = "not found\n"
-                content_type = "text/plain; charset=utf-8"
-                status = 404
-            payload = body.encode("utf-8")
+        def _dispatch(self, method: str) -> None:
+            path, _, query = self.path.partition("?")
+            body = b""
+            length = self.headers.get("Content-Length")
+            if length:
+                try:
+                    body = self.rfile.read(int(length))
+                except (ValueError, OSError):
+                    body = b""
+            try:
+                route_method = "GET" if method == "HEAD" else method
+                outcome = server.handle_route(route_method, path, query, body, self)
+            except RouteError as exc:
+                outcome = exc.response()
+            if outcome is STREAMED:
+                return
+            if outcome is None:
+                outcome = (404, "text/plain; charset=utf-8", "not found\n")
+            status, content_type, text = outcome  # type: ignore[misc]
+            payload = text.encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             self.end_headers()
-            self.wfile.write(payload)
+            if method != "HEAD":
+                self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("POST")
+
+        def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+            self._dispatch("HEAD")
 
         def log_message(self, *args: object) -> None:
             pass  # scrapes must not pollute the sweep's stderr progress line
 
     return Handler
+
+
+class RouteError(Exception):
+    """Raise from inside a route body to short-circuit to an error reply."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+    def response(self) -> tuple[int, str, str]:
+        body = json.dumps({"error": self.message}, sort_keys=True) + "\n"
+        return self.status, "application/json", body
